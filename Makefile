@@ -1,0 +1,45 @@
+# Cohesion reproduction — convenience targets. Everything is plain `go`
+# underneath; no target does anything you could not type yourself.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fmt vet cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/cohesion-experiments -fig all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/heterogeneous
+	$(GO) run ./examples/dirsizing
+	$(GO) run ./examples/hybridtuning
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/coschedule
+	$(GO) run ./examples/taskmigration
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,209 @@
+// Command cohesion-experiments regenerates the tables and figures of the
+// paper's evaluation (Figures 2, 3, 8, 9a/9b/9c, 10, the §4.4 area table,
+// and the headline summary), printing each as an aligned text table or,
+// with -csv, as machine-readable CSV for plotting.
+//
+// Examples:
+//
+//	cohesion-experiments -fig 8
+//	cohesion-experiments -fig 9a -kernels heat,sobel
+//	cohesion-experiments -fig 10 -csv > fig10.csv
+//	cohesion-experiments -fig all -scale 4 > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cohesion"
+	"cohesion/internal/stats"
+)
+
+var csvOut = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "which figure: 2, 3, 8, 9a, 9b, 9c, 10, area, table3, summary, scaling, all")
+		clusters = flag.Int("clusters", 0, "clusters (0 = harness default)")
+		workers  = flag.Int("workers", 0, "worker cores (0 = harness default)")
+		scale    = flag.Int("scale", 0, "kernel scale (0 = harness default)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		kernels  = flag.String("kernels", "", "comma-separated kernel subset (default all)")
+		verify   = flag.Bool("verify", false, "verify kernel outputs on every run (slower)")
+	)
+	flag.Parse()
+
+	p := cohesion.ExpParams{
+		Clusters: *clusters,
+		Workers:  *workers,
+		Scale:    *scale,
+		Seed:     *seed,
+		Verify:   *verify,
+	}
+	if *kernels != "" {
+		p.Kernels = strings.Split(*kernels, ",")
+	}
+
+	figures := map[string]func(cohesion.ExpParams){
+		"table3":  showTable3,
+		"2":       showFig2,
+		"3":       showFig3,
+		"8":       showFig8,
+		"9a":      func(p cohesion.ExpParams) { showFig9(p, "9a", cohesion.HWcc) },
+		"9b":      func(p cohesion.ExpParams) { showFig9(p, "9b", cohesion.Cohesion) },
+		"9c":      showFig9c,
+		"10":      showFig10,
+		"area":    showArea,
+		"summary": showSummary,
+		"scaling": showScaling,
+	}
+	if *fig == "all" {
+		for _, name := range []string{"table3", "2", "3", "8", "9a", "9b", "9c", "10", "area", "summary"} {
+			figures[name](p)
+		}
+		return
+	}
+	f, ok := figures[*fig]
+	if !ok {
+		check(fmt.Errorf("unknown figure %q", *fig))
+	}
+	f(p)
+}
+
+func showTable3(cohesion.ExpParams) {
+	cfg := cohesion.Table3Config()
+	fmt.Printf("Table 3 machine: %d cores, %d clusters, L2 %dKB %d-way, L3 %dMB/%d banks, dir %d x %d-way/bank\n\n",
+		cfg.Cores(), cfg.Clusters, cfg.L2Size>>10, cfg.L2Assoc, cfg.L3Size>>20, cfg.L3Banks,
+		cfg.DirEntriesPerBank, cfg.DirAssoc)
+}
+
+func showFig2(p cohesion.ExpParams) {
+	rows, err := cohesion.Fig2(p)
+	check(err)
+	if *csvOut {
+		fmt.Print(cohesion.BreakdownCSV(rows))
+		return
+	}
+	fmt.Println("== Figure 2: L2 output messages, SWcc vs optimistic HWcc (normalized to SWcc) ==")
+	fmt.Println(cohesion.BreakdownTable(rows))
+}
+
+func showFig3(p cohesion.ExpParams) {
+	rows, err := cohesion.Fig3(p)
+	check(err)
+	if *csvOut {
+		fmt.Print(cohesion.FlushEfficiencyCSV(rows))
+		return
+	}
+	fmt.Println("== Figure 3: useful SWcc coherence instructions vs L2 size ==")
+	t := &stats.Table{Header: []string{"kernel", "L2", "useful-inv", "useful-wb"}}
+	for _, r := range rows {
+		t.Add(r.Kernel, fmt.Sprintf("%dK", r.L2KB), fmt.Sprintf("%.3f", r.UsefulInv), fmt.Sprintf("%.3f", r.UsefulWB))
+	}
+	fmt.Println(t)
+}
+
+func showFig8(p cohesion.ExpParams) {
+	rows, err := cohesion.Fig8(p)
+	check(err)
+	if *csvOut {
+		fmt.Print(cohesion.BreakdownCSV(rows))
+		return
+	}
+	fmt.Println("== Figure 8: L2 output messages, four design points (normalized to SWcc) ==")
+	fmt.Println(cohesion.BreakdownTable(rows))
+}
+
+func showFig9(p cohesion.ExpParams, name string, mode cohesion.Mode) {
+	pts, err := cohesion.Fig9Sweep(p, mode)
+	check(err)
+	if *csvOut {
+		fmt.Print(cohesion.DirSweepCSV(pts))
+		return
+	}
+	fmt.Printf("== Figure %s: %v slowdown vs directory entries per bank (1.00 = infinite) ==\n", name, mode)
+	t := &stats.Table{Header: []string{"kernel", "entries/bank", "cycles", "slowdown"}}
+	for _, pt := range pts {
+		lbl := fmt.Sprint(pt.EntriesPerBank)
+		if pt.EntriesPerBank == 0 {
+			lbl = "inf"
+		}
+		t.Add(pt.Kernel, lbl, fmt.Sprint(pt.Cycles), fmt.Sprintf("%.2f", pt.Slowdown))
+	}
+	fmt.Println(t)
+}
+
+func showFig9c(p cohesion.ExpParams) {
+	rows, err := cohesion.Fig9c(p)
+	check(err)
+	if *csvOut {
+		fmt.Print(cohesion.OccupancyCSV(rows))
+		return
+	}
+	fmt.Println("== Figure 9c: directory entries allocated (unbounded directory) ==")
+	t := &stats.Table{Header: []string{"kernel", "config", "mean", "code", "heap/global", "stack", "max"}}
+	for _, r := range rows {
+		t.Add(r.Kernel, r.Config, fmt.Sprintf("%.0f", r.MeanTotal), fmt.Sprintf("%.0f", r.MeanCode),
+			fmt.Sprintf("%.0f", r.MeanHeap), fmt.Sprintf("%.0f", r.MeanStack), fmt.Sprint(r.MaxTotal))
+	}
+	fmt.Println(t)
+}
+
+func showFig10(p cohesion.ExpParams) {
+	rows, err := cohesion.Fig10(p)
+	check(err)
+	if *csvOut {
+		fmt.Print(cohesion.RuntimeCSV(rows))
+		return
+	}
+	fmt.Println("== Figure 10: run time normalized to Cohesion (full-map) ==")
+	t := &stats.Table{Header: []string{"kernel", "config", "cycles", "normalized"}}
+	for _, r := range rows {
+		t.Add(r.Kernel, r.Config, fmt.Sprint(r.Cycles), fmt.Sprintf("%.2f", r.Normalized))
+	}
+	fmt.Println(t)
+}
+
+func showScaling(p cohesion.ExpParams) {
+	kernel := "heat"
+	if len(p.Kernels) > 0 {
+		kernel = p.Kernels[0]
+	}
+	rows, err := cohesion.ScalingStudy(kernel, nil, p.Seed, p.Verify)
+	check(err)
+	if *csvOut {
+		fmt.Print(cohesion.ScalingCSV(rows))
+		return
+	}
+	fmt.Printf("== Scaling study (%s, weak scaling): coherence cost vs machine size ==\n", kernel)
+	t := &stats.Table{Header: []string{"cores", "config", "cycles", "messages", "msgs/core", "probes"}}
+	for _, r := range rows {
+		t.Add(fmt.Sprint(r.Cores), r.Config, fmt.Sprint(r.Cycles), fmt.Sprint(r.Messages),
+			fmt.Sprintf("%.1f", r.MessagesPerCore), fmt.Sprint(r.ProbesSent))
+	}
+	fmt.Println(t)
+}
+
+func showArea(cohesion.ExpParams) {
+	fmt.Println("== §4.4: directory area estimates (Table 3 machine) ==")
+	for _, e := range cohesion.AreaEstimates() {
+		fmt.Println(e)
+	}
+	fmt.Println()
+}
+
+func showSummary(p cohesion.ExpParams) {
+	s, err := cohesion.HeadlineSummary(p)
+	check(err)
+	fmt.Printf("== Headline: message reduction (HWcc-ideal/Cohesion, geomean) = %.2fx; directory utilization reduction (aggregate) = %.2fx ==\n",
+		s.MessageReduction, s.DirectoryReduction)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cohesion-experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,151 @@
+// Command cohesion-sim runs one benchmark kernel on one simulated machine
+// configuration and prints the run's statistics.
+//
+// Examples:
+//
+//	cohesion-sim -kernel heat -mode cohesion
+//	cohesion-sim -kernel dmm -mode hwcc -dir sparse -entries 1024 -assoc 0
+//	cohesion-sim -kernel stencil -mode swcc -clusters 16 -scale 4 -verify
+//	cohesion-sim -kernel kmeans -mode hwcc -table3   # full 1024-core machine
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cohesion"
+)
+
+func main() {
+	var (
+		kernel   = flag.String("kernel", "heat", "kernel: "+strings.Join(cohesion.KernelNames(), ", "))
+		mode     = flag.String("mode", "cohesion", "memory model: swcc, hwcc, cohesion")
+		clusters = flag.Int("clusters", 8, "number of 8-core clusters")
+		workers  = flag.Int("workers", 0, "cores running the kernel (0 = 4 per cluster)")
+		scale    = flag.Int("scale", 2, "data-set scale")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		dir      = flag.String("dir", "", "directory: infinite, sparse, dir4b (default: mode-appropriate)")
+		entries  = flag.Int("entries", 0, "directory entries per L3 bank (sparse/dir4b)")
+		assoc    = flag.Int("assoc", 0, "directory associativity (0 = fully associative)")
+		verify   = flag.Bool("verify", true, "verify kernel output against the golden reference")
+		table3   = flag.Bool("table3", false, "use the paper's full 1024-core Table 3 machine")
+		traceN   = flag.Int("trace", 0, "print the last N protocol events after the run")
+		phases   = flag.Bool("phases", false, "print per-phase (barrier-to-barrier) cycle and message breakdown")
+		timeline = flag.Bool("timeline", false, "print the traffic timeline as CSV")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
+	)
+	flag.Parse()
+
+	cfg := cohesion.ScaledConfig(*clusters)
+	if *table3 {
+		cfg = cohesion.Table3Config()
+	}
+	switch strings.ToLower(*mode) {
+	case "swcc":
+		cfg = cfg.WithMode(cohesion.SWcc)
+	case "hwcc":
+		cfg = cfg.WithMode(cohesion.HWcc)
+	case "cohesion":
+		cfg = cfg.WithMode(cohesion.Cohesion)
+	default:
+		fatal("unknown mode %q", *mode)
+	}
+	if *dir != "" {
+		var kind cohesion.DirKind
+		switch strings.ToLower(*dir) {
+		case "infinite":
+			kind = cohesion.DirInfinite
+		case "sparse":
+			kind = cohesion.DirSparse
+		case "dir4b":
+			kind = cohesion.DirLimited4B
+		default:
+			fatal("unknown directory %q", *dir)
+		}
+		e := *entries
+		if e == 0 {
+			e = cfg.DirEntriesPerBank
+		}
+		cfg = cfg.WithDirectory(kind, e, *assoc)
+	}
+
+	res, err := cohesion.Run(cohesion.RunConfig{
+		Machine:       cfg,
+		Kernel:        *kernel,
+		Scale:         *scale,
+		Seed:          *seed,
+		Workers:       *workers,
+		Verify:        *verify,
+		TraceCapacity: *traceN,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *jsonOut {
+		emitJSON(res)
+		return
+	}
+	fmt.Printf("%s on %s (%v, %v directory, %d cores)\n",
+		res.Kernel, res.Config.Label, res.Mode, res.Config.Directory, res.Config.Cores())
+	fmt.Print(res.Stats.String())
+	if res.Stats.Trace != nil {
+		fmt.Printf("\n== last %d protocol events ==\n%s", *traceN, res.Stats.Trace.Dump())
+	}
+	if *phases {
+		fmt.Println("\nphase,end_cycle,cycles,messages")
+		var prevC, prevM uint64
+		for i, mk := range res.Stats.PhaseMarks {
+			fmt.Printf("%d,%d,%d,%d\n", i, mk.Cycle, mk.Cycle-prevC, mk.Messages-prevM)
+			prevC, prevM = mk.Cycle, mk.Messages
+		}
+	}
+	if *timeline {
+		fmt.Println("\ncycle,messages,probes,dir_entries")
+		for _, s := range res.Stats.Timeline {
+			fmt.Printf("%d,%d,%d,%d\n", s.Cycle, s.Messages, s.Probes, s.DirEntries)
+		}
+	}
+}
+
+// emitJSON prints the run's key measurements as a JSON object.
+func emitJSON(res *cohesion.Result) {
+	messages := map[string]uint64{}
+	for _, k := range cohesion.MsgKinds() {
+		messages[k.String()] = res.Messages(k)
+	}
+	out := map[string]any{
+		"kernel":            res.Kernel,
+		"mode":              res.Mode.String(),
+		"cores":             res.Config.Cores(),
+		"directory":         res.Config.Directory.String(),
+		"cycles":            res.Cycles(),
+		"instructions":      res.Stats.Instructions,
+		"messages_total":    res.TotalMessages(),
+		"messages":          messages,
+		"probes":            res.Stats.ProbesSent,
+		"transitions_to_hw": res.Stats.TransitionsToHW,
+		"transitions_to_sw": res.Stats.TransitionsToSW,
+		"dir_evictions":     res.Stats.DirEvictions,
+		"dir_mean_entries":  res.Stats.Occupancy.MeanTotal(),
+		"dir_max_entries":   res.Stats.Occupancy.MaxTotal(),
+		"dram_reads":        res.Stats.DRAMReads,
+		"dram_writes":       res.Stats.DRAMWrites,
+		"net_messages":      res.Stats.NetMessages,
+		"net_bytes":         res.Stats.NetBytes,
+		"swcc_inv_useful":   res.Stats.UsefulInvFraction(),
+		"swcc_wb_useful":    res.Stats.UsefulWBFraction(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cohesion-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

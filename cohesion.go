@@ -1,0 +1,175 @@
+// Package cohesion is a from-scratch reproduction of "Cohesion: A Hybrid
+// Memory Model for Accelerators" (Kelm et al., ISCA 2010): a deterministic
+// discrete-event simulator of the paper's 1024-core cached accelerator, a
+// directory-based MSI hardware coherence protocol (HWcc), the Task Centric
+// software coherence protocol (SWcc), and the Cohesion hybrid layer that
+// migrates cache lines between the two coherence domains at run time —
+// plus the eight benchmark kernels and the harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// The package is a facade over the internal packages:
+//
+//	Run(RunConfig{...})          // simulate one kernel on one machine
+//	Fig2(...), Fig8(...), ...    // regenerate the paper's figures
+//	Table3Config(), ScaledConfig // machine configurations
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results next to the paper's.
+package cohesion
+
+import (
+	"fmt"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/config"
+	"cohesion/internal/kernels"
+	"cohesion/internal/machine"
+	"cohesion/internal/msg"
+	"cohesion/internal/rt"
+	"cohesion/internal/stats"
+)
+
+// Mode selects the memory model (the paper's design points).
+type Mode = config.Mode
+
+// Memory model constants.
+const (
+	SWcc     = config.SWcc
+	HWcc     = config.HWcc
+	Cohesion = config.Cohesion
+)
+
+// DirKind selects the directory organization.
+type DirKind = config.DirKind
+
+// Directory organization constants.
+const (
+	DirNone      = config.DirNone
+	DirInfinite  = config.DirInfinite
+	DirSparse    = config.DirSparse
+	DirLimited4B = config.DirLimited4B
+)
+
+// MachineConfig describes the simulated processor (see Table3Config).
+type MachineConfig = config.Machine
+
+// Table3Config returns the paper's full 1024-core Table 3 machine.
+func Table3Config() MachineConfig { return config.Table3() }
+
+// ScaledConfig returns a machine with Table 3 per-cluster geometry but
+// fewer clusters, for fast experimentation.
+func ScaledConfig(clusters int) MachineConfig { return config.Scaled(clusters) }
+
+// KernelNames lists the eight benchmark kernels (paper §4.1).
+func KernelNames() []string { return kernels.Names() }
+
+// Addr is a byte address in the machine's single 32-bit address space
+// (returned by the runtime's allocators, accepted by every Ctx operation).
+type Addr = addr.Addr
+
+// LineBytes is the cache-line size (Table 3: 32 bytes).
+const LineBytes = addr.LineBytes
+
+// MsgKind classifies L2-output messages (the Figures 2/8 legend).
+type MsgKind = msg.Kind
+
+// Message classes.
+const (
+	MsgReadReq   = msg.ReadReq
+	MsgWriteReq  = msg.WriteReq
+	MsgInstrReq  = msg.InstrReq
+	MsgAtomic    = msg.Atomic
+	MsgEviction  = msg.Eviction
+	MsgSWFlush   = msg.SWFlush
+	MsgReadRel   = msg.ReadRel
+	MsgProbeResp = msg.ProbeResp
+)
+
+// MsgKinds lists the message classes in figure-legend order.
+func MsgKinds() []MsgKind { return msg.Kinds() }
+
+// RunConfig describes one simulation.
+type RunConfig struct {
+	Machine MachineConfig
+	Kernel  string
+	Scale   int   // data-set scale; 1 is the smallest
+	Seed    int64 // workload generator seed
+	Workers int   // cores running the kernel; 0 = 4 per cluster
+	Verify  bool  // check kernel output against the golden reference
+
+	// MaxCycles bounds the simulation (0 = generous default).
+	MaxCycles uint64
+
+	// TraceCapacity, when positive, retains the last N protocol events in
+	// Result.Stats.Trace for post-mortem inspection.
+	TraceCapacity int
+}
+
+// Result is one simulation's measurements.
+type Result struct {
+	Kernel string
+	Mode   Mode
+	Config MachineConfig
+	Stats  stats.Run
+}
+
+// Messages returns the count for one L2-output message class.
+func (r *Result) Messages(k msg.Kind) uint64 { return r.Stats.Messages[k] }
+
+// TotalMessages sums all L2-output message classes (the Figs 2/8 stack).
+func (r *Result) TotalMessages() uint64 { return r.Stats.TotalMessages() }
+
+// Cycles is the simulated run time.
+func (r *Result) Cycles() uint64 { return r.Stats.Cycles }
+
+// Run simulates one kernel on one machine configuration, verifying output
+// and protocol invariants.
+func Run(rc RunConfig) (*Result, error) {
+	if rc.Scale < 1 {
+		rc.Scale = 1
+	}
+	m, err := machine.New(rc.Machine)
+	if err != nil {
+		return nil, err
+	}
+	if rc.TraceCapacity > 0 {
+		m.EnableTrace(rc.TraceCapacity)
+	}
+	workers := rc.Workers
+	if workers == 0 {
+		workers = 4 * rc.Machine.Clusters
+	}
+	if workers > rc.Machine.Cores() {
+		return nil, fmt.Errorf("cohesion: %d workers exceed %d cores", workers, rc.Machine.Cores())
+	}
+	r, err := rt.New(m, workers)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := kernels.Build(rc.Kernel, r, kernels.Params{Scale: rc.Scale, Seed: rc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	// Spread workers evenly across clusters.
+	perCluster := (workers + rc.Machine.Clusters - 1) / rc.Machine.Clusters
+	started := 0
+	for cl := 0; cl < rc.Machine.Clusters && started < workers; cl++ {
+		for i := 0; i < perCluster && started < workers; i++ {
+			r.Spawn(cl*rc.Machine.CoresPerCluster+i, inst.CodeBytes, inst.Worker)
+			started++
+		}
+	}
+	if err := m.Simulate(rc.MaxCycles); err != nil {
+		return nil, fmt.Errorf("cohesion: %s on %s: %w", rc.Kernel, rc.Machine.Label, err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("cohesion: %s: protocol invariant violated: %w", rc.Kernel, err)
+	}
+	m.DrainToMemory()
+	if rc.Verify {
+		if err := inst.Verify(r); err != nil {
+			return nil, fmt.Errorf("cohesion: %w", err)
+		}
+	}
+	return &Result{Kernel: rc.Kernel, Mode: rc.Machine.Mode, Config: rc.Machine, Stats: *m.Run}, nil
+}

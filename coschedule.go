@@ -1,0 +1,90 @@
+package cohesion
+
+import (
+	"fmt"
+
+	"cohesion/internal/kernels"
+	"cohesion/internal/machine"
+	"cohesion/internal/rt"
+	"cohesion/internal/stats"
+)
+
+// CoScheduleResult reports a two-application co-scheduled run: each
+// kernel's own completion time plus the shared machine's statistics.
+type CoScheduleResult struct {
+	KernelA, KernelB string
+	CyclesA, CyclesB uint64
+	Stats            stats.Run
+}
+
+// CoSchedule runs two kernels concurrently on disjoint halves of one
+// machine — the paper's §2.3 scenario of a runtime managing the coherence
+// needs of multiple applications on shared hardware. Each application gets
+// its own runtime partition (heaps, barrier, task queue) and half the
+// clusters; they share the L3, the directory, the region tables, and the
+// DRAM channels, so coherence interference between them is real.
+func CoSchedule(cfg MachineConfig, kernelA, kernelB string, scale int, seed int64, verify bool) (*CoScheduleResult, error) {
+	if cfg.Clusters < 2 {
+		return nil, fmt.Errorf("cohesion: co-scheduling needs at least two clusters")
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	half := cfg.Clusters / 2
+	workersEach := 2 * half
+
+	type app struct {
+		name         string
+		slot         int
+		firstCluster int
+		finish       uint64
+	}
+	apps := []*app{
+		{name: kernelA, slot: 0, firstCluster: 0},
+		{name: kernelB, slot: 1, firstCluster: half},
+	}
+	verifiers := make([]func() error, len(apps))
+	for i, a := range apps {
+		a := a
+		r, err := rt.NewPartition(m, workersEach, a.slot, 2)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := kernels.Build(a.name, r, kernels.Params{Scale: scale, Seed: seed + int64(a.slot)})
+		if err != nil {
+			return nil, err
+		}
+		rr := r
+		verifiers[i] = func() error { return inst.Verify(rr) }
+		for w := 0; w < workersEach; w++ {
+			cluster := a.firstCluster + w%half
+			core := cluster*cfg.CoresPerCluster + w/half
+			r.Spawn(core, inst.CodeBytes, func(x *rt.Ctx) {
+				inst.Worker(x)
+				if c := uint64(m.Q.Now()); c > a.finish {
+					a.finish = c
+				}
+			})
+		}
+	}
+	if err := m.Simulate(0); err != nil {
+		return nil, err
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	m.DrainToMemory()
+	if verify {
+		for i, v := range verifiers {
+			if err := v(); err != nil {
+				return nil, fmt.Errorf("cohesion: co-scheduled %s: %w", apps[i].name, err)
+			}
+		}
+	}
+	return &CoScheduleResult{
+		KernelA: kernelA, KernelB: kernelB,
+		CyclesA: apps[0].finish, CyclesB: apps[1].finish,
+		Stats: *m.Run,
+	}, nil
+}

@@ -1,0 +1,86 @@
+// Taskmigration: the paper's §2.3 thread-swap scenario — "Threads that
+// sleep on one core and resume execution on another must have their local
+// modified stack data available, forcing coherence actions at each thread
+// swap under SWcc. ... HWcc allows ... data to be pulled using HWcc."
+//
+// A task builds 64 words of private state on one cluster, suspends, and
+// resumes on another cluster that touches only a few of those words.
+// Two migration strategies on the same Cohesion machine:
+//
+//	push (SWcc style)  the suspending core flushes the whole state and the
+//	                   resuming core invalidates + refetches what it reads;
+//	pull (Cohesion)    the suspending core issues one CohHWccRegion; the
+//	                   resuming core's loads pull just the lines it needs
+//	                   through hardware coherence.
+//
+// When the resume touches a small fraction of the state, the pull
+// strategy moves far less data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cohesion"
+)
+
+const (
+	stateWords = 64 // 8 lines of task-private state
+	touched    = 4  // words the resumed task actually reads
+)
+
+func migrate(pull bool) {
+	cfg := cohesion.ScaledConfig(2).WithMode(cohesion.Cohesion)
+	sys, err := cohesion.NewSystem(cfg, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := sys.Runtime()
+	state := rt.CohMalloc(4 * stateWords) // task-private, SWcc
+	handoff := rt.Malloc(64)              // HWcc mailbox
+
+	var got uint32
+	sys.Spawn(0, 1024, func(x *cohesion.Ctx) { // cluster 0: runs the task
+		for i := 0; i < stateWords; i++ {
+			x.Store(state+cohesion.Addr(4*i), uint32(1000+i))
+		}
+		// Suspend: make the state available to wherever the task resumes.
+		if pull {
+			x.CohHWccRegion(state, 4*stateWords) // one transition, no data moved
+		} else {
+			x.FlushRange(state, 4*stateWords) // push everything out
+		}
+		x.Store(handoff, 1) // signal "task parked" through HWcc
+	})
+	sys.Spawn(8, 1024, func(x *cohesion.Ctx) { // cluster 1: resumes the task
+		for x.Load(handoff) != 1 {
+			x.Work(30)
+			x.InvLine(handoff) // refresh the coherent mailbox politely
+		}
+		if !pull {
+			x.InvRange(state, 4*stateWords) // drop any stale copies
+		}
+		for i := 0; i < touched; i++ {
+			got += x.Load(state + cohesion.Addr(4*i*2)) // sparse touch
+		}
+	})
+	if err := sys.Simulate(); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats()
+	name := "push (flush+inv)"
+	if pull {
+		name = "pull (CohHWccRegion)"
+	}
+	fmt.Printf("%-22s resumed-sum=%d  messages=%-4d flushes=%-3d data-msgs=%-3d transitions=%d cycles=%d\n",
+		name, got, st.TotalMessages(), st.Messages[cohesion.MsgSWFlush],
+		st.Messages[cohesion.MsgSWFlush]+st.Messages[cohesion.MsgEviction], st.TransitionsToHW, st.Cycles)
+}
+
+func main() {
+	fmt.Printf("migrating a task with %d words of state; resume touches %d words\n\n", stateWords, touched)
+	migrate(false)
+	migrate(true)
+	fmt.Println("\nPulling via HWcc moves only the touched lines — the paper's case for")
+	fmt.Println("hardware coherence under task migration (§2.3).")
+}

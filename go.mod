@@ -1,0 +1,3 @@
+module cohesion
+
+go 1.22

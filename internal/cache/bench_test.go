@@ -1,0 +1,51 @@
+package cache
+
+import (
+	"testing"
+
+	"cohesion/internal/addr"
+)
+
+// Substrate micro-benchmarks: the cache array is on the critical path of
+// every simulated memory operation, so its host-side cost bounds
+// simulation throughput.
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(64<<10, 16)
+	for i := 0; i < 2048; i++ {
+		c.Allocate(addr.Line(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(addr.Line(i&2047)) == nil {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	c := New(64<<10, 16)
+	for i := 0; i < 2048; i++ {
+		c.Allocate(addr.Line(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(addr.Line(1<<20+i&2047)) != nil {
+			b.Fatal("phantom hit")
+		}
+	}
+}
+
+func BenchmarkAllocateEvict(b *testing.B) {
+	c := New(64<<10, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := addr.Line(i)
+		if c.Peek(line) == nil {
+			c.Allocate(line)
+		}
+	}
+}

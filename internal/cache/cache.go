@@ -1,0 +1,174 @@
+// Package cache implements the set-associative cache arrays used at every
+// level of the simulated hierarchy (L1I, L1D, L2, L3 tags).
+//
+// Entries carry the metadata the Cohesion protocols need beyond a plain
+// cache: per-word valid and dirty bit vectors (the paper's non-inclusive
+// hierarchy keeps per-word dirty/valid bits so SWcc write-allocates can
+// complete without fetching, and so the L3 can merge disjoint write sets),
+// the per-line "incoherent" bit that marks SWcc lines in an L2 (paper
+// §3.4), and a protocol state byte interpreted by the coherence engine.
+package cache
+
+import (
+	"fmt"
+
+	"cohesion/internal/addr"
+)
+
+// MSI states stored in Entry.State for lines in the HWcc domain. Lines in
+// the SWcc domain are Valid with Incoherent set and State tracking nothing.
+const (
+	StateInvalid uint8 = iota
+	StateShared
+	StateModified
+)
+
+// Entry is one cache line's worth of state. The Data words are only
+// meaningful where ValidMask has the corresponding bit set.
+type Entry struct {
+	Line       addr.Line
+	Valid      bool
+	Pinned     bool // a transaction is in flight; not evictable
+	Incoherent bool // line belongs to the SWcc domain (paper's per-line bit)
+	State      uint8
+	ValidMask  uint8 // bit w: word w holds valid data
+	DirtyMask  uint8 // bit w: word w is dirty locally
+	Data       [addr.WordsPerLine]uint32
+
+	lastUse uint64
+}
+
+// FullMask has the valid/dirty bit set for every word of a line.
+const FullMask = uint8(1<<addr.WordsPerLine - 1)
+
+// Cache is a set-associative array with LRU replacement.
+type Cache struct {
+	sets   [][]Entry
+	ways   int
+	tick   uint64
+	valid  int
+	pinned int
+}
+
+// New builds a cache of sizeBytes capacity and the given associativity.
+// sizeBytes must be a multiple of assoc lines.
+func New(sizeBytes, assoc int) *Cache {
+	lines := sizeBytes / addr.LineBytes
+	if lines < 1 || assoc < 1 || lines%assoc != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %d bytes %d-way", sizeBytes, assoc))
+	}
+	nsets := lines / assoc
+	c := &Cache{sets: make([][]Entry, nsets), ways: assoc}
+	for i := range c.sets {
+		c.sets[i] = make([]Entry, assoc)
+	}
+	return c
+}
+
+// Sets and Ways report the geometry; Lines the total capacity in lines.
+func (c *Cache) Sets() int  { return len(c.sets) }
+func (c *Cache) Ways() int  { return c.ways }
+func (c *Cache) Lines() int { return len(c.sets) * c.ways }
+
+// Count reports how many entries are currently valid.
+func (c *Cache) Count() int { return c.valid }
+
+func (c *Cache) set(line addr.Line) []Entry {
+	return c.sets[uint64(line)%uint64(len(c.sets))]
+}
+
+// Lookup returns the entry holding line and refreshes its LRU position, or
+// nil on a miss. The returned pointer stays valid until the entry is
+// evicted; callers mutate protocol state through it.
+func (c *Cache) Lookup(line addr.Line) *Entry {
+	set := c.set(line)
+	for i := range set {
+		if set[i].Valid && set[i].Line == line {
+			c.tick++
+			set[i].lastUse = c.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Peek is Lookup without the LRU refresh; used by probes and invariant
+// checks so observation does not perturb replacement.
+func (c *Cache) Peek(line addr.Line) *Entry {
+	set := c.set(line)
+	for i := range set {
+		if set[i].Valid && set[i].Line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Allocate installs line, evicting the LRU non-pinned way if the set is
+// full. It returns the (reset) entry for the new line and, if a valid line
+// was displaced, a copy of the victim so the caller can issue writebacks or
+// release messages. Allocating a line that is already present panics: the
+// controller must Lookup first.
+//
+// The new entry starts Valid with empty masks, StateInvalid protocol state,
+// and the incoherent bit clear; the caller fills it in.
+func (c *Cache) Allocate(line addr.Line) (entry *Entry, victim Entry, evicted bool) {
+	set := c.set(line)
+	var slot *Entry
+	for i := range set {
+		e := &set[i]
+		if e.Valid && e.Line == line {
+			panic(fmt.Sprintf("cache: Allocate of resident line %#x", uint64(line)))
+		}
+		if e.Valid {
+			if e.Pinned {
+				continue
+			}
+			if slot == nil || (slot.Valid && e.lastUse < slot.lastUse) {
+				slot = e
+			}
+		} else if slot == nil || slot.Valid {
+			slot = e // always prefer an invalid way
+		}
+	}
+	if slot == nil {
+		panic(fmt.Sprintf("cache: set for line %#x fully pinned", uint64(line)))
+	}
+	if slot.Valid {
+		victim, evicted = *slot, true
+		c.valid--
+	}
+	c.tick++
+	*slot = Entry{Line: line, Valid: true, lastUse: c.tick}
+	c.valid++
+	return slot, victim, evicted
+}
+
+// Invalidate drops line if present, returning a copy of the dropped entry.
+func (c *Cache) Invalidate(line addr.Line) (dropped Entry, was bool) {
+	set := c.set(line)
+	for i := range set {
+		if set[i].Valid && set[i].Line == line {
+			dropped, was = set[i], true
+			set[i] = Entry{}
+			c.valid--
+			return
+		}
+	}
+	return
+}
+
+// ForEach calls fn for every valid entry. fn may mutate entries but must
+// not invalidate or allocate.
+func (c *Cache) ForEach(fn func(*Entry)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].Valid {
+				fn(&c.sets[s][w])
+			}
+		}
+	}
+}
+
+// WordBit returns the dirty/valid mask bit for the word containing a.
+func WordBit(a addr.Addr) uint8 { return 1 << addr.WordIndex(a) }

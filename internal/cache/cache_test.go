@@ -1,0 +1,221 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cohesion/internal/addr"
+)
+
+func TestGeometry(t *testing.T) {
+	c := New(64<<10, 16) // the Table-3 L2
+	if c.Lines() != 2048 || c.Sets() != 128 || c.Ways() != 16 {
+		t.Fatalf("geometry = %d lines, %d sets, %d ways", c.Lines(), c.Sets(), c.Ways())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry accepted")
+		}
+	}()
+	New(96, 4) // 3 lines, 4 ways
+}
+
+func TestAllocateLookupInvalidate(t *testing.T) {
+	c := New(1<<10, 2)
+	e, _, ev := c.Allocate(7)
+	if ev {
+		t.Fatal("eviction from empty cache")
+	}
+	e.State = StateShared
+	e.ValidMask = FullMask
+	if c.Count() != 1 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	got := c.Lookup(7)
+	if got == nil || got.State != StateShared {
+		t.Fatal("Lookup lost state")
+	}
+	if c.Lookup(8) != nil {
+		t.Fatal("phantom hit")
+	}
+	d, was := c.Invalidate(7)
+	if !was || d.State != StateShared {
+		t.Fatal("Invalidate lost entry")
+	}
+	if c.Count() != 0 || c.Peek(7) != nil {
+		t.Fatal("entry survived invalidation")
+	}
+	if _, was := c.Invalidate(7); was {
+		t.Fatal("double invalidate reported a drop")
+	}
+}
+
+func TestAllocateResidentPanics(t *testing.T) {
+	c := New(1<<10, 2)
+	c.Allocate(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double allocate accepted")
+		}
+	}()
+	c.Allocate(3)
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(64, 2) // one set, two ways
+	c.Allocate(0)
+	c.Allocate(2)
+	c.Lookup(0) // 0 now MRU; 2 is LRU
+	_, victim, ev := c.Allocate(4)
+	if !ev || victim.Line != 2 {
+		t.Fatalf("evicted %v (ev=%v), want line 2", victim.Line, ev)
+	}
+	if c.Peek(0) == nil || c.Peek(4) == nil || c.Peek(2) != nil {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestPinnedNotEvicted(t *testing.T) {
+	c := New(64, 2)
+	a, _, _ := c.Allocate(0)
+	a.Pinned = true
+	c.Allocate(2)
+	_, victim, ev := c.Allocate(4) // must evict 2 even though 0 is LRU
+	if !ev || victim.Line != 2 {
+		t.Fatalf("evicted line %d, want 2", victim.Line)
+	}
+	if c.Peek(0) == nil {
+		t.Fatal("pinned line evicted")
+	}
+}
+
+func TestFullyPinnedPanics(t *testing.T) {
+	c := New(64, 2)
+	a, _, _ := c.Allocate(0)
+	b, _, _ := c.Allocate(2)
+	a.Pinned, b.Pinned = true, true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("allocation into fully pinned set succeeded")
+		}
+	}()
+	c.Allocate(4)
+}
+
+func TestVictimCopyIndependent(t *testing.T) {
+	c := New(64, 1)
+	e, _, _ := c.Allocate(1)
+	e.Data[3] = 99
+	e.DirtyMask = 1 << 3
+	_, victim, ev := c.Allocate(3) // same set as line 1 in a 2-set cache
+	if !ev || victim.Data[3] != 99 || victim.DirtyMask != 1<<3 {
+		t.Fatal("victim copy lost data")
+	}
+	// Mutating the new resident must not affect the victim copy.
+	c.Lookup(3).Data[3] = 1
+	if victim.Data[3] != 99 {
+		t.Fatal("victim aliases live entry")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	c := New(1<<10, 4)
+	for i := addr.Line(0); i < 10; i++ {
+		c.Allocate(i)
+	}
+	n := 0
+	c.ForEach(func(e *Entry) { n++ })
+	if n != 10 {
+		t.Fatalf("ForEach visited %d, want 10", n)
+	}
+}
+
+func TestWordBit(t *testing.T) {
+	if WordBit(0x100) != 1 || WordBit(0x104) != 2 || WordBit(0x11c) != 0x80 {
+		t.Fatal("WordBit wrong")
+	}
+}
+
+// Property: the cache agrees with a map-based golden model under a random
+// stream of allocate/lookup/invalidate operations, as long as the model
+// evicts the same victims (we feed the model the cache's reported victims).
+func TestQuickGoldenModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(512, 2) // 16 lines, 8 sets
+		model := map[addr.Line]uint32{}
+		for op := 0; op < 2000; op++ {
+			line := addr.Line(rng.Intn(64))
+			switch rng.Intn(3) {
+			case 0: // allocate or touch
+				if e := c.Lookup(line); e != nil {
+					if model[line] != e.Data[0] {
+						return false
+					}
+					continue
+				}
+				e, victim, ev := c.Allocate(line)
+				if ev {
+					if model[victim.Line] != victim.Data[0] {
+						return false
+					}
+					delete(model, victim.Line)
+				}
+				v := rng.Uint32()
+				e.Data[0] = v
+				model[line] = v
+			case 1: // lookup
+				e := c.Peek(line)
+				_, inModel := model[line]
+				if (e != nil) != inModel {
+					return false
+				}
+				if e != nil && model[line] != e.Data[0] {
+					return false
+				}
+			case 2: // invalidate
+				d, was := c.Invalidate(line)
+				_, inModel := model[line]
+				if was != inModel {
+					return false
+				}
+				if was && model[line] != d.Data[0] {
+					return false
+				}
+				delete(model, line)
+			}
+			if c.Count() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a line is always found in the set its index maps to, and
+// capacity is never exceeded.
+func TestQuickCapacity(t *testing.T) {
+	f := func(lines []uint16) bool {
+		c := New(256, 4) // 8 lines
+		for _, l := range lines {
+			line := addr.Line(l)
+			if c.Lookup(line) == nil {
+				c.Allocate(line)
+			}
+			if c.Count() > c.Lines() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

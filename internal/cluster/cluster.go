@@ -1,0 +1,627 @@
+// Package cluster models one eight-core cluster of the baseline machine
+// (paper §3.1): simple in-order cores with private L1 instruction and data
+// caches, sharing a unified L2 cache whose controller implements the
+// L2 side of all three memory models — HWcc (MSI requests, probe
+// handling, read releases), SWcc (write-allocate without directory
+// involvement, per-word dirty bits, software flush/invalidate), and
+// Cohesion (the per-line incoherent bit and capture probes).
+//
+// Cores execute workload programs running on their own goroutines; the
+// machine and the program alternate strictly (the machine resumes a
+// program and then blocks until it yields its next operation), so the
+// simulation stays single-threaded and deterministic.
+package cluster
+
+import (
+	"fmt"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/cache"
+	"cohesion/internal/config"
+	"cohesion/internal/event"
+	"cohesion/internal/msg"
+	"cohesion/internal/stats"
+)
+
+// Debug mirrors L2 trace events to stdout in addition to the run's
+// bounded TraceLog; tests may flip it while diagnosing failures.
+var Debug = false
+
+// HomeSend routes a request to the home bank of its line and delivers the
+// response; installed by the machine assembly.
+type HomeSend func(req msg.Req, onResp func(msg.Resp))
+
+// OpKind enumerates the operations a workload program can issue.
+type OpKind uint8
+
+const (
+	OpLoad OpKind = iota
+	OpStore
+	OpAtomic
+	OpUncLoad
+	OpUncStore
+	OpFlush // software writeback (WB) of one line
+	OpInv   // software invalidate (INV) of one line
+	OpWork  // Cycles of non-memory computation
+	OpDone  // program finished
+)
+
+// Op is one operation yielded by a workload program.
+type Op struct {
+	Kind   OpKind
+	Addr   addr.Addr
+	Value  uint32
+	AOp    msg.AtomicOp
+	Op2    uint32
+	Cycles int64 // OpWork only
+}
+
+// Core is one in-order core. Programs interact with it only through Do,
+// from the program goroutine; everything else belongs to the machine side.
+type Core struct {
+	ID      int // global core id
+	cluster *Cluster
+	l1i     *cache.Cache
+	l1d     *cache.Cache
+
+	reqCh  chan Op
+	respCh chan uint32
+
+	pc       int // instruction index within the kernel code footprint
+	codeBase addr.Addr
+	codeLen  int // code footprint in bytes
+
+	started bool
+	done    bool
+	pending Op
+
+	raceTrapped bool // a table write's ack carried a race exception
+}
+
+// Do issues one operation and blocks the program until it completes,
+// returning the operation's result (loaded value, atomic's old value).
+// It must be called only from the core's program goroutine.
+func (c *Core) Do(o Op) uint32 {
+	c.reqCh <- o
+	return <-c.respCh
+}
+
+// TakeRaceTrap reports and clears the core's pending race exception (set
+// when a CohHWccRegion acknowledgement flagged a Figure 7 Case 5b race
+// under config.TrapOnRace). Called from the program goroutine.
+func (c *Core) TakeRaceTrap() bool {
+	was := c.raceTrapped
+	c.raceTrapped = false
+	return was
+}
+
+// SetCode positions the core's instruction stream inside a kernel's code
+// footprint; every operation advances the PC by one instruction and
+// misses in the L1I/L2 fetch real lines from the code segment.
+func (c *Core) SetCode(base addr.Addr, bytes int) {
+	if bytes < addr.WordBytes {
+		bytes = addr.WordBytes
+	}
+	c.codeBase, c.codeLen, c.pc = base, bytes, 0
+}
+
+// Cluster is eight cores, their L1s, and the shared L2.
+type Cluster struct {
+	ID  int
+	cfg config.Machine
+	q   *event.Queue
+	run *stats.Run
+
+	l2     *cache.Cache
+	toHome HomeSend
+	Cores  []*Core
+
+	l2busy event.Cycle
+	txns   map[addr.Line]*l2txn
+
+	onCoreDone func() // machine hook: a core's program completed
+}
+
+// l2txn is an in-flight L2 miss/upgrade for one line. Operations arriving
+// for the line while it is outstanding queue as retries.
+type l2txn struct {
+	upgrade bool
+	retries []func()
+}
+
+// New builds a cluster. toHome and onCoreDone are installed by the machine.
+func New(id int, cfg config.Machine, q *event.Queue, run *stats.Run) *Cluster {
+	cl := &Cluster{
+		ID:   id,
+		cfg:  cfg,
+		q:    q,
+		run:  run,
+		l2:   cache.New(cfg.L2Size, cfg.L2Assoc),
+		txns: make(map[addr.Line]*l2txn),
+	}
+	for i := 0; i < cfg.CoresPerCluster; i++ {
+		cl.Cores = append(cl.Cores, &Core{
+			ID:      id*cfg.CoresPerCluster + i,
+			cluster: cl,
+			l1i:     cache.New(cfg.L1ISize, cfg.L1IAssoc),
+			l1d:     cache.New(cfg.L1DSize, cfg.L1DAssoc),
+			reqCh:   make(chan Op),
+			respCh:  make(chan uint32),
+			codeLen: addr.WordBytes,
+		})
+	}
+	return cl
+}
+
+// Wire installs the machine glue.
+func (cl *Cluster) Wire(toHome HomeSend, onCoreDone func()) {
+	cl.toHome = toHome
+	cl.onCoreDone = onCoreDone
+}
+
+// L2 exposes the shared cache for invariant checks and end-of-run drains.
+func (cl *Cluster) L2() *cache.Cache { return cl.l2 }
+
+// Pending reports whether the L2 has outstanding transactions.
+func (cl *Cluster) Pending() bool { return len(cl.txns) > 0 }
+
+// StartCore launches a program on core index i. The program runs on its
+// own goroutine; the first operation is fetched when the core's first
+// issue event fires.
+func (cl *Cluster) StartCore(i int, program func(c *Core)) {
+	c := cl.Cores[i]
+	if c.started {
+		panic(fmt.Sprintf("cluster: core %d started twice", c.ID))
+	}
+	c.started = true
+	go func() {
+		program(c)
+		c.reqCh <- Op{Kind: OpDone}
+	}()
+	cl.q.After(1, func() { cl.fetchNext(c) })
+}
+
+// fetchNext blocks until the program yields its next operation, then
+// schedules its issue. The strict alternation keeps simulation
+// deterministic: exactly one goroutine runs at any moment.
+func (cl *Cluster) fetchNext(c *Core) {
+	c.pending = <-c.reqCh
+	cl.step(c)
+}
+
+func (cl *Cluster) step(c *Core) {
+	o := c.pending
+	if o.Kind == OpDone {
+		c.done = true
+		if cl.onCoreDone != nil {
+			cl.onCoreDone()
+		}
+		return
+	}
+	cl.ifetch(c, func() { cl.execute(c, o) })
+}
+
+// complete resumes the program with the op's result, blocks until the
+// program yields its next operation, and schedules its issue one cycle
+// later. Blocking here — rather than when the issue event fires — is what
+// keeps the strict machine/program alternation: the event loop never runs
+// concurrently with program code, so programs may freely touch host-side
+// state (statistics, allocators, golden models) between operations.
+func (cl *Cluster) complete(c *Core, v uint32) {
+	c.respCh <- v
+	c.pending = <-c.reqCh
+	cl.q.After(1, func() { cl.step(c) })
+}
+
+// ifetch models the instruction stream: each operation advances the PC by
+// one instruction within the kernel's code footprint; L1I misses access
+// the L2, and L2 misses fetch the code line from the L3 (counted as
+// Instruction Requests, always coherence-free reads for code).
+func (cl *Cluster) ifetch(c *Core, cont func()) {
+	cl.run.Instructions++
+	pcAddr := c.codeBase + addr.Addr((c.pc*addr.WordBytes)%c.codeLen)
+	c.pc++
+	line := addr.LineOf(pcAddr)
+	if c.l1i.Lookup(line) != nil {
+		cont()
+		return
+	}
+	cl.l2Stage(func() {
+		if cl.l2.Lookup(line) != nil {
+			c.l1i.Allocate(line) // code is clean; victims drop silently
+			cont()
+			return
+		}
+		cl.joinTxn(line, false, func() {
+			if cl.l2.Peek(line) != nil && c.l1i.Peek(line) == nil {
+				c.l1i.Allocate(line)
+			}
+			cont()
+		}, msg.ReqInstr)
+	})
+}
+
+// l2Stage schedules fn after the L2 access latency, serializing on the
+// cluster's shared L2 port.
+func (cl *Cluster) l2Stage(fn func()) {
+	start := cl.q.Now()
+	if cl.l2busy > start {
+		start = cl.l2busy
+	}
+	cl.l2busy = start + 1
+	cl.q.At(start+event.Cycle(cl.cfg.L2Latency), fn)
+}
+
+func (cl *Cluster) execute(c *Core, o Op) {
+	switch o.Kind {
+	case OpWork:
+		cl.run.Instructions += uint64(o.Cycles)
+		cl.q.After(event.Cycle(o.Cycles), func() { cl.complete(c, 0) })
+	case OpLoad:
+		cl.load(c, o.Addr, func(v uint32) { cl.complete(c, v) })
+	case OpStore:
+		cl.store(c, o.Addr, o.Value, func() { cl.complete(c, 0) })
+	case OpAtomic, OpUncLoad, OpUncStore:
+		cl.uncached(c, o, func(v uint32) { cl.complete(c, v) })
+	case OpFlush:
+		cl.flush(c, o.Addr, func() { cl.complete(c, 0) })
+	case OpInv:
+		cl.inv(c, o.Addr, func() { cl.complete(c, 0) })
+	default:
+		panic(fmt.Sprintf("cluster: unknown op kind %d", o.Kind))
+	}
+}
+
+// trace records an L2-side protocol event.
+func (cl *Cluster) trace(format string, args ...any) {
+	cl.run.TraceEvent(uint64(cl.q.Now()), fmt.Sprintf("cl%d", cl.ID), format, args...)
+	if Debug {
+		fmt.Printf("[cl%d] "+format+"\n", append([]any{cl.ID}, args...)...)
+	}
+}
+
+// send counts and transmits a request to the line's home bank.
+func (cl *Cluster) send(req msg.Req, onResp func(msg.Resp)) {
+	req.Cluster = cl.ID
+	cl.run.CountMessage(req.Kind.Class())
+	cl.toHome(req, onResp)
+}
+
+// load returns the word at a through the L1D/L2 hierarchy.
+func (cl *Cluster) load(c *Core, a addr.Addr, cont func(uint32)) {
+	line := addr.LineOf(a)
+	bit := cache.WordBit(a)
+	if c.l1d.Lookup(line) != nil {
+		e := cl.l2.Peek(line)
+		if e == nil {
+			panic("cluster: L1D/L2 inclusion broken")
+		}
+		if e.ValidMask&bit != 0 {
+			cont(e.Data[addr.WordIndex(a)])
+			return
+		}
+		// The line is resident but this word was never filled (SWcc
+		// write-allocate leaves partial lines): fall through to a fetch.
+	}
+	cl.l2Stage(func() { cl.l2Load(c, a, cont) })
+}
+
+func (cl *Cluster) l2Load(c *Core, a addr.Addr, cont func(uint32)) {
+	line := addr.LineOf(a)
+	bit := cache.WordBit(a)
+	if e := cl.l2.Lookup(line); e != nil && e.ValidMask&bit != 0 {
+		if c.l1d.Peek(line) == nil {
+			c.l1d.Allocate(line) // tags only; L1D victims drop silently
+		}
+		cont(e.Data[addr.WordIndex(a)])
+		return
+	}
+	// Miss, or resident with the needed word invalid: fetch and merge.
+	cl.joinTxn(line, false, func() { cl.l2Load(c, a, cont) }, msg.ReqRead)
+}
+
+// store writes the word at a. Stores are write-through to the L2 and need
+// write permission there: Modified under HWcc, or the incoherent bit under
+// SWcc/Cohesion. In pure SWcc mode a store miss write-allocates locally
+// with per-word valid/dirty bits and sends no message at all (paper §2.1:
+// "Writes can be issued as write-allocates under SWcc without waiting on a
+// directory response").
+func (cl *Cluster) store(c *Core, a addr.Addr, v uint32, cont func()) {
+	cl.l2Stage(func() { cl.l2Store(c, a, v, cont) })
+}
+
+func (cl *Cluster) l2Store(c *Core, a addr.Addr, v uint32, cont func()) {
+	line := addr.LineOf(a)
+	bit := cache.WordBit(a)
+	e := cl.l2.Lookup(line)
+	if e != nil {
+		if e.Incoherent || e.State == cache.StateModified {
+			e.Data[addr.WordIndex(a)] = v
+			e.ValidMask |= bit
+			e.DirtyMask |= bit
+			cont()
+			return
+		}
+		// Shared under HWcc: upgrade.
+		cl.joinTxn(line, true, func() { cl.l2Store(c, a, v, cont) }, msg.ReqWrite)
+		return
+	}
+	if cl.cfg.Mode == config.SWcc {
+		ne, victim, evicted := cl.l2.Allocate(line)
+		if evicted {
+			cl.evictVictim(victim)
+		}
+		ne.Incoherent = true
+		ne.ValidMask = bit
+		ne.DirtyMask = bit
+		ne.Data[addr.WordIndex(a)] = v
+		cont()
+		return
+	}
+	cl.joinTxn(line, true, func() { cl.l2Store(c, a, v, cont) }, msg.ReqWrite)
+}
+
+// joinTxn coalesces misses: if a transaction is outstanding for the line
+// the retry queues behind it; otherwise a request of the given kind is
+// sent and the response installed.
+func (cl *Cluster) joinTxn(line addr.Line, write bool, retry func(), kind msg.ReqKind) {
+	if t := cl.txns[line]; t != nil {
+		t.retries = append(t.retries, retry)
+		return
+	}
+	if len(cl.txns) >= cl.cfg.L2MSHRs {
+		// All miss-status registers busy: stall and retry when one drains.
+		cl.q.After(event.Cycle(cl.cfg.L2Latency), retry)
+		return
+	}
+	t := &l2txn{upgrade: write && cl.l2.Peek(line) != nil}
+	t.retries = append(t.retries, retry)
+	cl.txns[line] = t
+	if e := cl.l2.Peek(line); e != nil {
+		e.Pinned = true
+	}
+	cl.send(msg.Req{Kind: kind, Line: line}, func(resp msg.Resp) {
+		cl.trace("install line=%#x grant=%v", uint64(line), resp.Grant)
+		cl.install(line, resp)
+		delete(cl.txns, line)
+		for _, r := range t.retries {
+			cl.q.After(0, r)
+		}
+	})
+}
+
+// install applies a fill/upgrade response to the L2.
+func (cl *Cluster) install(line addr.Line, resp msg.Resp) {
+	e := cl.l2.Peek(line)
+	if e == nil {
+		// Fresh fill (or the line was invalidated while upgrading and the
+		// home sent data).
+		if !resp.HasData {
+			panic("cluster: dataless response for absent line")
+		}
+		var victim cache.Entry
+		var evicted bool
+		e, victim, evicted = cl.l2.Allocate(line)
+		if evicted {
+			cl.evictVictim(victim)
+		}
+		e.Data = resp.Data
+		e.ValidMask = cache.FullMask
+	} else {
+		e.Pinned = false
+		if resp.HasData {
+			// Merge fetched words under locally dirty ones (SWcc partial
+			// lines keep their write-allocated words).
+			for w := 0; w < addr.WordsPerLine; w++ {
+				if e.ValidMask&(1<<w) == 0 {
+					e.Data[w] = resp.Data[w]
+				}
+			}
+			e.ValidMask = cache.FullMask
+		}
+	}
+	switch resp.Grant {
+	case msg.GrantShared:
+		e.Incoherent = false
+		e.State = cache.StateShared
+	case msg.GrantModified:
+		e.Incoherent = false
+		e.State = cache.StateModified
+	case msg.GrantIncoherent:
+		e.Incoherent = true
+		e.State = cache.StateInvalid
+	}
+}
+
+// uncached performs atomic and uncached word operations at the L3,
+// bypassing the local caches (the paper's atom.* instructions and
+// uncached loads/stores used by the runtime).
+func (cl *Cluster) uncached(c *Core, o Op, cont func(uint32)) {
+	kind := msg.ReqAtomic
+	switch o.Kind {
+	case OpUncLoad:
+		kind = msg.ReqUncLoad
+	case OpUncStore:
+		kind = msg.ReqUncStore
+	}
+	req := msg.Req{
+		Kind:     kind,
+		Line:     addr.LineOf(o.Addr),
+		Addr:     addr.WordAlign(o.Addr),
+		Op:       o.AOp,
+		Operand:  o.Value,
+		Operand2: o.Op2,
+	}
+	cl.send(req, func(resp msg.Resp) {
+		if resp.RaceException {
+			c.raceTrapped = true
+		}
+		cont(resp.Value)
+	})
+}
+
+// flush implements the software WB instruction for the line containing a:
+// dirty words are written back to the L3 and the line stays resident
+// clean. Flushes of absent lines are the wasted operations of Figure 3.
+func (cl *Cluster) flush(c *Core, a addr.Addr, cont func()) {
+	line := addr.LineOf(a)
+	cl.l2Stage(func() {
+		cl.run.WBIssued++
+		e := cl.l2.Peek(line)
+		if e == nil {
+			cont()
+			return
+		}
+		cl.run.WBUseful++
+		if e.DirtyMask == 0 {
+			cont()
+			return
+		}
+		req := msg.Req{Kind: msg.ReqSWFlush, Line: line, Mask: e.DirtyMask, Data: e.Data}
+		e.DirtyMask = 0
+		cl.send(req, func(msg.Resp) { cont() })
+	})
+}
+
+// inv implements the software INV instruction: the line is dropped
+// locally. Incoherent lines drop silently (clean SWcc drops send no
+// message, paper §3.4); hardware-coherent lines are surrendered properly
+// so the directory stays consistent (dirty data written back, clean copies
+// released).
+func (cl *Cluster) inv(c *Core, a addr.Addr, cont func()) {
+	line := addr.LineOf(a)
+	cl.l2Stage(func() {
+		cl.run.InvIssued++
+		e := cl.l2.Peek(line)
+		if e == nil || e.Pinned {
+			cont()
+			return
+		}
+		cl.run.InvUseful++
+		cl.dropLine(e)
+		cont()
+	})
+}
+
+// dropLine implements the INV instruction's removal: incoherent lines are
+// discarded outright — dirty words included; invalidation means the data
+// is not wanted — while hardware-coherent lines are surrendered properly
+// so the directory stays consistent.
+func (cl *Cluster) dropLine(e *cache.Entry) {
+	line := e.Line
+	if !e.Incoherent {
+		cl.surrender(*e)
+	}
+	cl.l2.Invalidate(line)
+	cl.invalidateL1(line)
+}
+
+// evictVictim handles a line displaced by an allocation.
+func (cl *Cluster) evictVictim(victim cache.Entry) {
+	cl.invalidateL1(victim.Line)
+	cl.surrender(victim)
+}
+
+// surrender emits the message an L2 owes the home when giving up a line:
+// dirty data is written back (Cache Evictions); clean hardware-coherent
+// lines send a read release when the protocol uses them; clean incoherent
+// lines drop silently.
+func (cl *Cluster) surrender(e cache.Entry) {
+	switch {
+	case e.Incoherent:
+		if e.DirtyMask != 0 {
+			cl.send(msg.Req{Kind: msg.ReqEvict, Line: e.Line, Mask: e.DirtyMask, Data: e.Data}, nil)
+		}
+	case e.State == cache.StateModified:
+		cl.send(msg.Req{Kind: msg.ReqEvict, Line: e.Line, Mask: e.DirtyMask, Data: e.Data}, nil)
+	case e.State == cache.StateShared && cl.cfg.ReadReleases:
+		cl.send(msg.Req{Kind: msg.ReqReadRel, Line: e.Line}, nil)
+	}
+}
+
+func (cl *Cluster) invalidateL1(line addr.Line) {
+	for _, c := range cl.Cores {
+		c.l1d.Invalidate(line)
+		c.l1i.Invalidate(line)
+	}
+}
+
+// HandleProbe services a directory probe, replying through reply (the
+// machine glue counts the reply as a Probe Response and routes it back).
+func (cl *Cluster) HandleProbe(p msg.Probe, reply func(msg.ProbeReply)) {
+	e := cl.l2.Peek(p.Line)
+	cl.trace("probe %v line=%#x present=%v", p.Kind, uint64(p.Line), e != nil)
+	base := msg.ProbeReply{Cluster: cl.ID, Line: p.Line}
+	switch p.Kind {
+	case msg.ProbeInv:
+		if e == nil {
+			base.Kind = msg.ReplyAck
+			reply(base)
+			return
+		}
+		if e.DirtyMask != 0 {
+			base.Kind = msg.ReplyData
+			base.Mask = e.DirtyMask
+			base.Data = e.Data
+		} else {
+			base.Kind = msg.ReplyAck
+		}
+		cl.l2.Invalidate(p.Line)
+		cl.invalidateL1(p.Line)
+		reply(base)
+
+	case msg.ProbeWB:
+		if e == nil {
+			base.Kind = msg.ReplyAck // eviction in flight; home will merge it
+			reply(base)
+			return
+		}
+		base.Kind = msg.ReplyData
+		base.Mask = e.DirtyMask
+		base.Data = e.Data
+		cl.l2.Invalidate(p.Line)
+		cl.invalidateL1(p.Line)
+		reply(base)
+
+	case msg.ProbeCapture:
+		switch {
+		case e == nil:
+			base.Kind = msg.ReplyNotPresent
+		case e.DirtyMask != 0:
+			// Report dirty words; phase two decides writeback vs upgrade.
+			base.Kind = msg.ReplyDirty
+			base.Mask = e.DirtyMask
+		default:
+			// Clean: the line becomes a hardware sharer in place.
+			e.Incoherent = false
+			e.State = cache.StateShared
+			base.Kind = msg.ReplyClean
+		}
+		reply(base)
+
+	case msg.ProbeUpgradeOwner:
+		if e == nil {
+			base.Kind = msg.ReplyNotPresent
+			reply(base)
+			return
+		}
+		e.Incoherent = false
+		e.State = cache.StateModified
+		base.Kind = msg.ReplyAck
+		reply(base)
+
+	default:
+		panic(fmt.Sprintf("cluster: unknown probe kind %v", p.Kind))
+	}
+}
+
+// DrainDirty force-writes every dirty word in the L2 to the backing store
+// via fn; used by the machine at simulation end so host-side verification
+// sees final values (the hardware analogue is the chip's exit flush).
+func (cl *Cluster) DrainDirty(fn func(line addr.Line, mask uint8, data [addr.WordsPerLine]uint32)) {
+	cl.l2.ForEach(func(e *cache.Entry) {
+		if e.DirtyMask != 0 {
+			fn(e.Line, e.DirtyMask, e.Data)
+		}
+	})
+}

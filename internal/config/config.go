@@ -1,0 +1,279 @@
+// Package config describes a simulated machine: sizing, timing, directory
+// organization, and which coherence model the run uses. Table3 reproduces
+// the paper's Table 3 exactly; scaled presets keep tests and benches fast
+// while exercising identical mechanisms.
+package config
+
+import (
+	"errors"
+	"fmt"
+
+	"cohesion/internal/addr"
+)
+
+// Mode selects the memory model for a run (the paper's four design points).
+type Mode uint8
+
+const (
+	// SWcc: software-managed coherence only. No directory; all sharing is
+	// handled by explicit flush/invalidate at task boundaries.
+	SWcc Mode = iota
+	// HWcc: hardware-managed (MSI directory) coherence for all of memory.
+	HWcc
+	// Cohesion: hybrid. Default HWcc, with region tables moving lines into
+	// the SWcc domain and back at run time.
+	Cohesion
+)
+
+func (m Mode) String() string {
+	switch m {
+	case SWcc:
+		return "SWcc"
+	case HWcc:
+		return "HWcc"
+	case Cohesion:
+		return "Cohesion"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// DirKind selects the directory organization (paper §3.2, §4.1).
+type DirKind uint8
+
+const (
+	// DirNone: no directory (SWcc runs).
+	DirNone DirKind = iota
+	// DirInfinite: optimistic full-map directory with unbounded capacity and
+	// full associativity; zero-conflict (the paper's "HWcc ideal").
+	DirInfinite
+	// DirSparse: realistic sparse set-associative full-map directory
+	// (16K entries × 128 ways per L3 bank by default).
+	DirSparse
+	// DirLimited4B: Dir4B limited-pointer directory: four sharer pointers
+	// per entry; overflow sets a broadcast bit (sparse storage).
+	DirLimited4B
+)
+
+func (k DirKind) String() string {
+	switch k {
+	case DirNone:
+		return "none"
+	case DirInfinite:
+		return "full-map (infinite)"
+	case DirSparse:
+		return "sparse full-map"
+	case DirLimited4B:
+		return "Dir4B sparse"
+	}
+	return fmt.Sprintf("DirKind(%d)", uint8(k))
+}
+
+// Machine is the full description of a simulated processor. All sizes are
+// bytes unless suffixed otherwise; all latencies are core cycles.
+type Machine struct {
+	// Topology.
+	Clusters        int // number of 8-core clusters
+	CoresPerCluster int
+	L3Banks         int
+	DRAMChannels    int
+
+	// Caches.
+	L1ISize, L1IAssoc int
+	L1DSize, L1DAssoc int
+	L2Size, L2Assoc   int
+	L3Size, L3Assoc   int // L3Size is the total across banks
+
+	// L2MSHRs bounds each cluster's outstanding L2 misses (miss-status
+	// holding registers); further misses stall at the L2 until a slot
+	// frees. The eight blocking cores of a cluster need at most eight.
+	L2MSHRs int
+
+	// Latencies (cycles) and bandwidth.
+	L1Latency         int
+	L2Latency         int
+	L3Latency         int
+	TreeLatency       int // cluster -> tree root, one way
+	XbarLatency       int // tree root -> L3 bank, one way
+	DRAMLatency       int // controller + device access
+	DRAMCyclesPerLine int // per-line occupancy of a channel (bandwidth model)
+
+	// Directory.
+	Directory         DirKind
+	DirEntriesPerBank int // sparse/limited capacity; ignored for infinite
+	DirAssoc          int // sparse/limited associativity; 0 = fully associative
+
+	// Memory model.
+	Mode Mode
+
+	// SWcc/Cohesion behaviour toggles (ablations; defaults match the paper).
+	ReadReleases    bool // HWcc sends read releases on clean evictions
+	CoarseTable     bool // Cohesion uses the coarse-grain region table
+	TableCachedInL3 bool // fine-grain region table lookups may hit in L3
+
+	// NetJitter, when positive, adds up to this many random extra cycles
+	// of occupancy to every link traversal (seeded by NetJitterSeed).
+	// Per-link FIFO ordering is preserved; only cross-link interleavings
+	// change. Robustness-testing aid, off by default.
+	NetJitter     int
+	NetJitterSeed int64
+
+	// TrapOnRace makes the directory signal an exception with the
+	// transition acknowledgement when a SW-to-HW capture finds the same
+	// word dirty in multiple L2s (paper §3.6: "For debugging, it may be
+	// useful to have the directory signal an exception with its return
+	// message to the requesting core").
+	TrapOnRace bool
+
+	// Runtime sizing.
+	StackBytesPerCore int
+
+	// Label names the configuration in reports.
+	Label string
+}
+
+// Table3 returns the paper's full 1024-core baseline configuration
+// (Table 3), with the realistic sparse directory.
+func Table3() Machine {
+	return Machine{
+		Clusters:        128,
+		CoresPerCluster: 8,
+		L3Banks:         32,
+		DRAMChannels:    8,
+
+		L1ISize: 2 << 10, L1IAssoc: 2,
+		L1DSize: 1 << 10, L1DAssoc: 2,
+		L2Size: 64 << 10, L2Assoc: 16,
+		L3Size: 4 << 20, L3Assoc: 8,
+
+		L2MSHRs:           16,
+		L1Latency:         1,
+		L2Latency:         4,
+		L3Latency:         16,
+		TreeLatency:       6,
+		XbarLatency:       4,
+		DRAMLatency:       100,
+		DRAMCyclesPerLine: 4, // 32 B / (192 GB/s / 8 ch / 1.5 GHz) ≈ 2; 4 adds command overhead
+
+		Directory:         DirSparse,
+		DirEntriesPerBank: 16 << 10,
+		DirAssoc:          128,
+
+		Mode:            HWcc,
+		ReadReleases:    true,
+		CoarseTable:     true,
+		TableCachedInL3: true,
+
+		StackBytesPerCore: 4 << 10,
+		Label:             "table3",
+	}
+}
+
+// Scaled returns a configuration with the same per-cluster geometry and
+// timing as Table 3 but fewer clusters/banks/channels, for fast tests and
+// benches. clusters must be a multiple of banks and banks a multiple of
+// channels for even striding; Scaled picks sensible bank/channel counts.
+func Scaled(clusters int) Machine {
+	m := Table3()
+	m.Clusters = clusters
+	m.L3Banks = clusters / 4
+	if m.L3Banks < 1 {
+		m.L3Banks = 1
+	}
+	if m.L3Banks > 32 {
+		m.L3Banks = 32
+	}
+	m.DRAMChannels = m.L3Banks / 4
+	if m.DRAMChannels < 1 {
+		m.DRAMChannels = 1
+	}
+	m.L3Size = m.L3Banks * (128 << 10) // keep 128 KB per bank, as in Table 3
+	m.DirEntriesPerBank = 16 << 10
+	m.Label = fmt.Sprintf("scaled-%dc", clusters*m.CoresPerCluster)
+	return m
+}
+
+// Cores returns the total core count.
+func (m Machine) Cores() int { return m.Clusters * m.CoresPerCluster }
+
+// L3BankSize returns the per-bank L3 capacity in bytes.
+func (m Machine) L3BankSize() int { return m.L3Size / m.L3Banks }
+
+// L2Lines returns the number of lines in one L2.
+func (m Machine) L2Lines() int { return m.L2Size / addr.LineBytes }
+
+// WithMode returns a copy with the memory model (and matching directory
+// default) switched: SWcc drops the directory, HWcc/Cohesion keep whatever
+// directory is configured (or restore sparse if none).
+func (m Machine) WithMode(mode Mode) Machine {
+	m.Mode = mode
+	switch mode {
+	case SWcc:
+		m.Directory = DirNone
+	case HWcc, Cohesion:
+		if m.Directory == DirNone {
+			m.Directory = DirSparse
+		}
+	}
+	return m
+}
+
+// WithDirectory returns a copy using the given directory organization and
+// capacity. entriesPerBank and assoc are ignored for DirInfinite; assoc 0
+// means fully associative.
+func (m Machine) WithDirectory(kind DirKind, entriesPerBank, assoc int) Machine {
+	m.Directory = kind
+	m.DirEntriesPerBank = entriesPerBank
+	m.DirAssoc = assoc
+	return m
+}
+
+// Validate checks structural invariants the simulator depends on.
+func (m Machine) Validate() error {
+	switch {
+	case m.Clusters < 1:
+		return errors.New("config: need at least one cluster")
+	case m.CoresPerCluster < 1:
+		return errors.New("config: need at least one core per cluster")
+	case m.L3Banks < 1:
+		return errors.New("config: need at least one L3 bank")
+	case m.DRAMChannels < 1:
+		return errors.New("config: need at least one DRAM channel")
+	case m.L3Banks%m.DRAMChannels != 0:
+		return fmt.Errorf("config: L3 banks (%d) must be a multiple of DRAM channels (%d)", m.L3Banks, m.DRAMChannels)
+	case m.L3Banks&(m.L3Banks-1) != 0:
+		return fmt.Errorf("config: L3 banks (%d) must be a power of two for address striding", m.L3Banks)
+	}
+	for _, c := range []struct {
+		name        string
+		size, assoc int
+	}{
+		{"L1I", m.L1ISize, m.L1IAssoc},
+		{"L1D", m.L1DSize, m.L1DAssoc},
+		{"L2", m.L2Size, m.L2Assoc},
+		{"L3 bank", m.L3BankSize(), m.L3Assoc},
+	} {
+		lines := c.size / addr.LineBytes
+		if c.size%addr.LineBytes != 0 || lines < c.assoc || c.assoc < 1 || lines%c.assoc != 0 {
+			return fmt.Errorf("config: bad %s geometry: %d bytes, %d-way", c.name, c.size, c.assoc)
+		}
+	}
+	if m.Mode != SWcc && m.Directory == DirNone {
+		return fmt.Errorf("config: mode %v requires a directory", m.Mode)
+	}
+	if m.Mode == SWcc && m.Directory != DirNone {
+		return errors.New("config: SWcc mode must not configure a directory")
+	}
+	if (m.Directory == DirSparse || m.Directory == DirLimited4B) && m.DirEntriesPerBank < 1 {
+		return errors.New("config: sparse/limited directory needs DirEntriesPerBank >= 1")
+	}
+	if m.DirAssoc > 0 && m.DirEntriesPerBank%m.DirAssoc != 0 {
+		return fmt.Errorf("config: directory entries (%d) must be a multiple of associativity (%d)", m.DirEntriesPerBank, m.DirAssoc)
+	}
+	if m.StackBytesPerCore < addr.LineBytes {
+		return errors.New("config: stacks must hold at least one line")
+	}
+	if m.L2MSHRs < 1 {
+		return errors.New("config: need at least one L2 MSHR")
+	}
+	return nil
+}

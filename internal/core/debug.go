@@ -1,0 +1,5 @@
+package core
+
+// Debug mirrors protocol trace events to stdout in addition to the run's
+// bounded TraceLog; tests may flip it while diagnosing failures.
+var Debug = false

@@ -1,0 +1,512 @@
+// Package core implements the paper's primary contribution: the home-node
+// controller that unifies a directory-based MSI hardware coherence protocol
+// (HWcc), service for software-managed coherence (SWcc), and the Cohesion
+// transition protocol that migrates lines between the two domains at run
+// time (paper §3).
+//
+// One Home instance sits at each L3 cache bank, collocated with its
+// directory bank (paper §3.2: "One bank of the directory is attached to
+// each L3 cache bank. All directory requests are serialized through a home
+// directory bank, thus avoiding many of the potential races in three-party
+// directory protocols"). Every request that can change protocol state
+// acquires the target line's transaction slot for its full service time,
+// so per-line state transitions are totally ordered at the home. Messages
+// travel over the interconnect via callbacks installed by the machine
+// assembly, which guarantees point-to-point FIFO ordering; the controller
+// relies on that ordering in one place: a dirty eviction (ReqEvict) sent
+// by an L2 always arrives before that L2's reply to a later probe of the
+// same line, so a writeback probe that finds the line absent can complete
+// with the already-merged data.
+package core
+
+import (
+	"fmt"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/cache"
+	"cohesion/internal/config"
+	"cohesion/internal/directory"
+	"cohesion/internal/dram"
+	"cohesion/internal/event"
+	"cohesion/internal/msg"
+	"cohesion/internal/region"
+	"cohesion/internal/stats"
+)
+
+// ProbeFunc delivers a probe to a cluster's L2 and routes the reply back.
+type ProbeFunc func(cluster int, p msg.Probe, onReply func(msg.ProbeReply))
+
+// Home is one L3 bank plus its directory slice and region-table port.
+type Home struct {
+	bank  int
+	cfg   config.Machine
+	q     *event.Queue
+	run   *stats.Run
+	store *dram.Store
+	mem   *dram.Controller
+	dir   directory.Directory // nil in SWcc mode
+	l3    *cache.Cache        // this bank's tag array (values live in store)
+
+	coarse *region.CoarseTable // nil unless Cohesion with coarse table
+	fine   *region.FineTable   // nil unless Cohesion
+
+	probe ProbeFunc
+
+	// busyUntil models the single L3/directory port (Table 3: one R/W
+	// port per bank): request processing serializes through it.
+	busyUntil event.Cycle
+
+	txns    map[addr.Line]*txn
+	waiting map[addr.Line][]waiter
+}
+
+// portOccupancy is how long one request occupies the bank's port.
+const portOccupancy = 2
+
+// retryDelay is the backoff used when a flow must wait for an unrelated
+// in-flight transaction (pinned directory set, busy transition target).
+const retryDelay = 8
+
+type waiter struct {
+	req   msg.Req
+	reply func(msg.Resp)
+}
+
+// txn is one line's in-flight transaction. Only one exists per line; every
+// other request for the line queues behind it.
+type txn struct {
+	wbArrived bool   // a ReqEvict for the line arrived during the txn
+	onWB      func() // resume point for a probe that found the line absent
+}
+
+// NewHome builds the controller for one bank. dir is nil for SWcc-only
+// machines; coarse/fine are nil unless the machine runs Cohesion (coarse
+// additionally nil when the coarse-table ablation is off).
+func NewHome(bank int, cfg config.Machine, q *event.Queue, run *stats.Run,
+	store *dram.Store, mem *dram.Controller, dir directory.Directory,
+	coarse *region.CoarseTable, fine *region.FineTable, probe ProbeFunc) *Home {
+	return &Home{
+		bank:    bank,
+		cfg:     cfg,
+		q:       q,
+		run:     run,
+		store:   store,
+		mem:     mem,
+		dir:     dir,
+		l3:      cache.New(cfg.L3BankSize(), cfg.L3Assoc),
+		coarse:  coarse,
+		fine:    fine,
+		probe:   probe,
+		txns:    make(map[addr.Line]*txn),
+		waiting: make(map[addr.Line][]waiter),
+	}
+}
+
+// Directory exposes the bank's directory for occupancy sampling and
+// invariant checks. It is nil in SWcc mode.
+func (h *Home) Directory() directory.Directory { return h.dir }
+
+// Pending reports whether the bank has in-flight transactions or queued
+// requests (used by the machine's quiescence check).
+func (h *Home) Pending() bool { return len(h.txns) > 0 || len(h.waiting) > 0 }
+
+// HandleReq is the entry point for a request arriving from the network.
+// reply, when non-nil, routes the response back to the requesting L2.
+func (h *Home) HandleReq(req msg.Req, reply func(msg.Resp)) {
+	// Serialize through the bank port, then charge the L3 pipeline.
+	start := h.q.Now()
+	if h.busyUntil > start {
+		start = h.busyUntil
+	}
+	h.busyUntil = start + portOccupancy
+	h.q.At(start+event.Cycle(h.cfg.L3Latency), func() { h.process(req, reply) })
+}
+
+// trace records a home-side protocol event in the run's TraceLog (and on
+// stdout when Debug is set).
+func (h *Home) trace(format string, args ...any) {
+	h.run.TraceEvent(uint64(h.q.Now()), fmt.Sprintf("home%d", h.bank), format, args...)
+	if Debug {
+		fmt.Printf("[home%d] "+format+"\n", append([]any{h.bank}, args...)...)
+	}
+}
+
+func (h *Home) process(req msg.Req, reply func(msg.Resp)) {
+	switch req.Kind {
+	case msg.ReqEvict:
+		h.handleEvict(req)
+	case msg.ReqSWFlush:
+		h.mergeToL3(req.Line, req.Mask, req.Data)
+		if reply != nil {
+			reply(msg.Resp{Grant: msg.GrantNone})
+		}
+	case msg.ReqReadRel:
+		h.handleReadRel(req)
+	default:
+		// Reads, writes, instruction fetches, atomics, and uncached ops all
+		// serialize through the line's transaction slot.
+		if h.txns[req.Line] != nil {
+			h.waiting[req.Line] = append(h.waiting[req.Line], waiter{req, reply})
+			return
+		}
+		h.start(req, reply)
+	}
+}
+
+// start opens the line's transaction slot and runs the request. Callers
+// must have checked that no transaction is in flight.
+func (h *Home) start(req msg.Req, reply func(msg.Resp)) {
+	line := req.Line
+	if h.txns[line] != nil {
+		panic(fmt.Sprintf("core: transaction collision on line %#x", uint64(line)))
+	}
+	h.txns[line] = &txn{}
+	h.trace("start %v line=%#x cluster=%d", req.Kind, uint64(line), req.Cluster)
+	done := func(resp msg.Resp) {
+		h.trace("done %v line=%#x cluster=%d grant=%v", req.Kind, uint64(line), req.Cluster, resp.Grant)
+		// Send the response BEFORE retiring the transaction: retiring
+		// drains the next queued request, which may immediately probe the
+		// cluster just granted — the grant must win the (FIFO) link or the
+		// probe would observe the line before its fill arrives.
+		if reply != nil {
+			reply(resp)
+		}
+		h.completeTxn(line)
+	}
+	switch req.Kind {
+	case msg.ReqRead, msg.ReqWrite, msg.ReqInstr:
+		h.dispatch(req, done)
+	case msg.ReqAtomic, msg.ReqUncStore:
+		h.atomicFlow(req, done)
+	case msg.ReqUncLoad:
+		h.dataAccess(req.Line, func([addr.WordsPerLine]uint32) {
+			done(msg.Resp{Grant: msg.GrantNone, Value: h.store.ReadWord(req.Addr)})
+		})
+	default:
+		panic(fmt.Sprintf("core: unhandled request kind %v", req.Kind))
+	}
+}
+
+// completeTxn retires the line's transaction, unpins its directory entry,
+// and synchronously starts the next queued request if any.
+func (h *Home) completeTxn(line addr.Line) {
+	if h.dir != nil {
+		if e := h.dir.Lookup(line); e != nil {
+			e.Pinned = false
+		}
+	}
+	delete(h.txns, line)
+	ws := h.waiting[line]
+	if len(ws) == 0 {
+		delete(h.waiting, line)
+		return
+	}
+	w := ws[0]
+	if len(ws) == 1 {
+		delete(h.waiting, line)
+	} else {
+		h.waiting[line] = ws[1:]
+	}
+	h.start(w.req, w.reply)
+}
+
+// handleEvict merges a dirty writeback (no transaction slot needed: the
+// merge is value-safe at any time, and directory bookkeeping is guarded).
+func (h *Home) handleEvict(req msg.Req) {
+	h.mergeToL3(req.Line, req.Mask, req.Data)
+	if t := h.txns[req.Line]; t != nil {
+		// An in-flight transaction may be waiting for exactly this data.
+		t.wbArrived = true
+		if t.onWB != nil {
+			cont := t.onWB
+			t.onWB = nil
+			cont()
+		}
+		return
+	}
+	if h.dir != nil {
+		if e := h.dir.Lookup(req.Line); e != nil && e.State == directory.Modified && e.Owner == req.Cluster {
+			h.dir.Remove(req.Line)
+		}
+	}
+}
+
+// handleReadRel drops a sharer after a clean eviction; the entry is
+// deallocated when the sharer count reaches zero (paper §3.2). Stale
+// releases (entry already evicted or re-owned) are ignored.
+func (h *Home) handleReadRel(req msg.Req) {
+	if h.dir == nil {
+		return
+	}
+	e := h.dir.Lookup(req.Line)
+	if e == nil || e.State != directory.Shared {
+		return
+	}
+	e.Sharers.Remove(req.Cluster)
+	if e.Sharers.Empty() && !e.Pinned && !e.Broadcast {
+		h.dir.Remove(req.Line)
+	}
+}
+
+// dispatch services a read/write/ifetch holding the line's txn slot.
+func (h *Home) dispatch(req msg.Req, done func(msg.Resp)) {
+	if h.dir != nil {
+		if e := h.dir.Lookup(req.Line); e != nil {
+			e.Pinned = true
+			h.dispatchHWHit(req, done, e)
+			return
+		}
+	}
+	// Directory miss: decide the line's coherence domain.
+	h.domainOf(req.Line, func(sw bool) {
+		if sw {
+			h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
+				done(msg.Resp{Grant: msg.GrantIncoherent, HasData: true, Data: data})
+			})
+			return
+		}
+		h.grantFresh(req, done)
+	})
+}
+
+// grantFresh allocates a directory entry for an untracked HWcc line and
+// grants the request.
+func (h *Home) grantFresh(req msg.Req, done func(msg.Resp)) {
+	h.allocEntry(req.Line, func(e *directory.Entry) {
+		grant := msg.GrantShared
+		if req.Kind == msg.ReqWrite {
+			e.State = directory.Modified
+			e.Owner = req.Cluster
+			grant = msg.GrantModified
+		} else {
+			e.State = directory.Shared
+		}
+		directory.AddSharer(h.dir, e, req.Cluster)
+		h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
+			done(msg.Resp{Grant: grant, HasData: true, Data: data})
+		})
+	})
+}
+
+// dispatchHWHit services a request that hit a (now pinned) directory entry.
+func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entry) {
+	switch req.Kind {
+	case msg.ReqRead, msg.ReqInstr:
+		if e.State == directory.Shared {
+			directory.AddSharer(h.dir, e, req.Cluster)
+			h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
+				done(msg.Resp{Grant: msg.GrantShared, HasData: true, Data: data})
+			})
+			return
+		}
+		// Modified in another cluster: recall the dirty data, then grant
+		// fresh. (The owner is invalidated rather than downgraded; with the
+		// L3 as the communication point this costs one re-fetch if the old
+		// owner reads again — the paper's rationale for omitting E/O.)
+		h.recallEntry(req.Line, e, func() {
+			h.grantFresh(req, done)
+		})
+
+	case msg.ReqWrite:
+		if e.State == directory.Modified {
+			// Owned dirty by another cluster (link FIFO ordering rules out
+			// a cluster racing its own ownership).
+			h.recallEntry(req.Line, e, func() {
+				h.grantFresh(req, done)
+			})
+			return
+		}
+		// Shared: invalidate every other sharer, then grant Modified.
+		wasSharer := e.Sharers.Has(req.Cluster)
+		targets := h.probeTargets(e, req.Cluster)
+		finish := func() {
+			e.State = directory.Modified
+			e.Owner = req.Cluster
+			e.Broadcast = false
+			e.Sharers = directory.Sharers{}
+			directory.AddSharer(h.dir, e, req.Cluster)
+			if wasSharer {
+				done(msg.Resp{Grant: msg.GrantModified})
+				return
+			}
+			h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
+				done(msg.Resp{Grant: msg.GrantModified, HasData: true, Data: data})
+			})
+		}
+		if len(targets) == 0 {
+			finish()
+			return
+		}
+		pending := len(targets)
+		for _, c := range targets {
+			h.sendProbe(c, msg.Probe{Kind: msg.ProbeInv, Line: req.Line}, func(rep msg.ProbeReply) {
+				h.absorbReplyData(req.Line, rep)
+				pending--
+				if pending == 0 {
+					finish()
+				}
+			})
+		}
+
+	default:
+		panic("core: dispatchHWHit on non-RWI request")
+	}
+}
+
+// atomicFlow performs an uncached atomic or uncached store at the L3. If
+// the word's line is hardware-tracked it is recalled first so the
+// operation observes the globally latest value. Writes that land in the
+// fine-grain region table are snooped: changed bits trigger coherence
+// domain transitions, and the requester is not acknowledged until they
+// complete (paper §3.6).
+func (h *Home) atomicFlow(req msg.Req, done func(msg.Resp)) {
+	if h.dir != nil {
+		if e := h.dir.Lookup(req.Line); e != nil {
+			e.Pinned = true
+			h.recallEntry(req.Line, e, func() {
+				h.atomicFlow(req, done)
+			})
+			return
+		}
+	}
+	old := h.store.ReadWord(req.Addr)
+	var next uint32
+	if req.Kind == msg.ReqUncStore {
+		next = req.Operand
+	} else {
+		next = req.Op.Apply(old, req.Operand, req.Operand2)
+	}
+	h.store.WriteWord(req.Addr, next)
+	h.touchL3Word(req.Addr)
+
+	if h.fine != nil && region.InTableRange(req.Addr) && old != next {
+		h.transitionChanged(req.Addr, old^next, next, func(raced bool) {
+			done(msg.Resp{
+				Grant:         msg.GrantNone,
+				Value:         old,
+				RaceException: raced && h.cfg.TrapOnRace,
+			})
+		})
+		return
+	}
+	done(msg.Resp{Grant: msg.GrantNone, Value: old})
+}
+
+// recallEntry tears down a directory entry under the line's held txn slot:
+// sharers are invalidated (Shared) or the owner's dirty data written back
+// (Modified), the entry is removed, and cont runs. The line's data ends up
+// current in the L3/store and absent from every L2 — exactly the paper's
+// Figure 7(a) right-hand states.
+func (h *Home) recallEntry(line addr.Line, e *directory.Entry, cont func()) {
+	h.trace("recall line=%#x state=%v owner=%d", uint64(line), e.State, e.Owner)
+	e.Pinned = true
+	if e.State == directory.Modified {
+		owner := e.Owner
+		finish := func() {
+			h.dir.Remove(line)
+			cont()
+		}
+		h.sendProbe(owner, msg.Probe{Kind: msg.ProbeWB, Line: line}, func(rep msg.ProbeReply) {
+			if rep.Kind == msg.ReplyData {
+				h.mergeToL3(line, rep.Mask, rep.Data)
+				finish()
+				return
+			}
+			// Line absent at the owner: the dirty eviction is (or was) in
+			// flight. Link FIFO ordering means it normally arrived already.
+			t := h.txns[line]
+			if t != nil && !t.wbArrived {
+				h.trace("recall line=%#x waiting for writeback", uint64(line))
+				t.onWB = finish
+				return
+			}
+			finish()
+		})
+		return
+	}
+	targets := h.probeTargets(e, -1)
+	if len(targets) == 0 {
+		h.dir.Remove(line)
+		cont()
+		return
+	}
+	pending := len(targets)
+	for _, c := range targets {
+		h.sendProbe(c, msg.Probe{Kind: msg.ProbeInv, Line: line}, func(rep msg.ProbeReply) {
+			h.absorbReplyData(line, rep)
+			pending--
+			if pending == 0 {
+				h.dir.Remove(line)
+				cont()
+			}
+		})
+	}
+}
+
+// absorbReplyData merges dirty data carried on a probe reply (an L2 may
+// answer an invalidation with dirty words if its copy was modified).
+func (h *Home) absorbReplyData(line addr.Line, rep msg.ProbeReply) {
+	if rep.Kind == msg.ReplyData && rep.Mask != 0 {
+		h.mergeToL3(line, rep.Mask, rep.Data)
+	}
+}
+
+// allocEntry obtains a directory entry for line, evicting a victim entry
+// (invalidating its sharers — the directory is inclusive of the L2s) when
+// the set is full. The fresh entry is pinned; the caller's txn completion
+// unpins it.
+func (h *Home) allocEntry(line addr.Line, cont func(*directory.Entry)) {
+	if h.dir.HasRoom(line) {
+		e := h.dir.Allocate(line)
+		e.Pinned = true
+		cont(e)
+		return
+	}
+	v := h.dir.Victim(line)
+	if v == nil {
+		// Every candidate way is pinned by an in-flight transaction;
+		// retry once one drains.
+		h.q.After(retryDelay, func() { h.allocEntry(line, cont) })
+		return
+	}
+	victimLine := v.Line
+	if h.txns[victimLine] != nil {
+		// An unpinned entry whose line has a transaction should not exist,
+		// but never race it: back off and retry.
+		h.q.After(retryDelay, func() { h.allocEntry(line, cont) })
+		return
+	}
+	h.run.DirEvictions++
+	h.txns[victimLine] = &txn{}
+	h.recallEntry(victimLine, v, func() {
+		h.completeTxn(victimLine)
+		h.allocEntry(line, cont)
+	})
+}
+
+// probeTargets lists the clusters to probe for an entry, excluding skip
+// (-1 to exclude none). Overflowed Dir4B entries probe every cluster.
+func (h *Home) probeTargets(e *directory.Entry, skip int) []int {
+	var out []int
+	if e.Broadcast {
+		h.run.DirBroadcasts++
+		for c := 0; c < h.cfg.Clusters; c++ {
+			if c != skip {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	e.Sharers.ForEach(func(c int) {
+		if c != skip {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+func (h *Home) sendProbe(cluster int, p msg.Probe, onReply func(msg.ProbeReply)) {
+	h.run.ProbesSent++
+	h.trace("%v line=%#x -> cl%d", p.Kind, uint64(p.Line), cluster)
+	h.probe(cluster, p, onReply)
+}

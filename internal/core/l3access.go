@@ -1,0 +1,75 @@
+package core
+
+import (
+	"cohesion/internal/addr"
+	"cohesion/internal/cache"
+)
+
+// dataAccess produces the current contents of a line at this bank,
+// charging DRAM timing on an L3 tag miss. The architectural values always
+// live in the backing store (the L3 is modelled write-through value-wise;
+// its tags and dirty bits drive timing and DRAM traffic only).
+func (h *Home) dataAccess(line addr.Line, cont func([addr.WordsPerLine]uint32)) {
+	if h.l3.Lookup(line) != nil {
+		cont(h.store.ReadLine(line))
+		return
+	}
+	h.mem.Access(h.bank, line, false, func() {
+		h.installL3(line)
+		cont(h.store.ReadLine(line))
+	})
+}
+
+// installL3 allocates a tag for line, paying a DRAM write for a dirty
+// victim.
+func (h *Home) installL3(line addr.Line) {
+	if h.l3.Peek(line) != nil {
+		return // a racing fill beat us to it
+	}
+	_, victim, evicted := h.l3.Allocate(line)
+	if evicted && victim.DirtyMask != 0 {
+		h.mem.Access(h.bank, victim.Line, true, func() {})
+	}
+}
+
+// mergeToL3 applies a masked writeback: values merge into the backing
+// store; the L3 tag is write-allocated and marked dirty so a later
+// eviction pays the DRAM write.
+func (h *Home) mergeToL3(line addr.Line, mask uint8, data [addr.WordsPerLine]uint32) {
+	h.store.MergeLine(line, mask, data)
+	e := h.l3.Lookup(line)
+	if e == nil {
+		h.installL3(line)
+		e = h.l3.Lookup(line)
+	}
+	e.DirtyMask |= mask
+	e.ValidMask = cache.FullMask
+}
+
+// touchL3Word marks the line of an atomically-updated word dirty if its
+// tag is resident; atomics bypass the caches otherwise.
+func (h *Home) touchL3Word(a addr.Addr) {
+	if e := h.l3.Peek(addr.LineOf(a)); e != nil {
+		e.DirtyMask |= cache.WordBit(a)
+	}
+}
+
+// tableAccess reads a fine-grain region table word. When the table is
+// cached in the L3 (the default; the table is outside the L2 coherence
+// protocol so this is safe, paper §3.4) a resident tag answers after the
+// table-port latency; otherwise the read goes to DRAM.
+func (h *Home) tableAccess(wordAddr addr.Addr, cont func(uint32)) {
+	line := addr.LineOf(wordAddr)
+	read := func() { cont(h.store.ReadWord(wordAddr)) }
+	if h.cfg.TableCachedInL3 && h.l3.Lookup(line) != nil {
+		// Minimum one extra cycle for the serialized table lookup.
+		h.q.After(1, read)
+		return
+	}
+	h.mem.Access(h.bank, line, false, func() {
+		if h.cfg.TableCachedInL3 {
+			h.installL3(line)
+		}
+		read()
+	})
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"cohesion/internal/addr"
+	"cohesion/internal/config"
+	"cohesion/internal/directory"
+	"cohesion/internal/msg"
+	"cohesion/internal/region"
+)
+
+// domainOf decides which coherence domain a line with no directory entry
+// belongs to. In SWcc mode everything is software-managed; in HWcc mode
+// everything is hardware-managed; under Cohesion the coarse-grain region
+// table is consulted for free (it is a small on-die structure accessed in
+// parallel with the directory), then the fine-grain in-memory bitmap,
+// whose lookup costs at least an L3 access (paper §3.4).
+func (h *Home) domainOf(line addr.Line, cont func(sw bool)) {
+	switch h.cfg.Mode {
+	case config.SWcc:
+		cont(true)
+		return
+	case config.HWcc:
+		cont(false)
+		return
+	}
+	base := line.Base()
+	if h.coarse != nil && h.coarse.Contains(base) {
+		cont(true)
+		return
+	}
+	if h.fine == nil {
+		cont(false)
+		return
+	}
+	wa := region.TblWordAddr(base, h.cfg.L3Banks)
+	h.tableAccess(wa, func(word uint32) {
+		cont(word&(1<<region.TblBitIndex(base)) != 0)
+	})
+}
+
+// transitionChanged runs the coherence-domain transitions for every table
+// bit flipped by a snooped write to table word wordAddr, serialized
+// line-by-line ("If a request for multiple line state transitions occurs,
+// the directory serializes the requests line-by-line", paper §3.6), then
+// runs cont.
+func (h *Home) transitionChanged(wordAddr addr.Addr, changed, newWord uint32, cont func(raced bool)) {
+	var lines []addr.Line
+	var toSW []bool
+	for bit := uint(0); bit < 32; bit++ {
+		if changed&(1<<bit) == 0 {
+			continue
+		}
+		lines = append(lines, region.InvTblAddr(addr.WordAlign(wordAddr), bit, h.cfg.L3Banks))
+		toSW = append(toSW, newWord&(1<<bit) != 0)
+	}
+	anyRace := false
+	var step func(i int)
+	step = func(i int) {
+		if i == len(lines) {
+			cont(anyRace)
+			return
+		}
+		next := func(raced bool) {
+			anyRace = anyRace || raced
+			step(i + 1)
+		}
+		if toSW[i] {
+			h.transitionToSW(lines[i], next)
+		} else {
+			h.transitionToHW(lines[i], next)
+		}
+	}
+	step(0)
+}
+
+// acquireLine grabs the transaction slot of a data line for a transition,
+// retrying while a regular request holds it.
+func (h *Home) acquireLine(line addr.Line, body func()) {
+	if h.txns[line] != nil {
+		h.q.After(retryDelay, func() { h.acquireLine(line, body) })
+		return
+	}
+	h.txns[line] = &txn{}
+	body()
+}
+
+// transitionToSW implements HWcc => SWcc (paper Figure 7a): any directory
+// state for the line is torn down — sharers invalidated (Case 2a) or the
+// owner's dirty data written back (Case 3a) — leaving the current value in
+// the L3/memory and the line in no L2. Case 1a (no entry) needs no action
+// beyond the already-written table bit.
+func (h *Home) transitionToSW(line addr.Line, cont func(raced bool)) {
+	h.run.TransitionsToSW++
+	h.trace("transition toSW line=%#x", uint64(line))
+	h.acquireLine(line, func() {
+		e := h.dir.Lookup(line)
+		if e == nil {
+			h.completeTxn(line)
+			cont(false)
+			return
+		}
+		e.Pinned = true
+		h.recallEntry(line, e, func() {
+			h.completeTxn(line)
+			cont(false)
+		})
+	})
+}
+
+// transitionToHW implements SWcc => HWcc (paper Figure 7b): the directory
+// broadcasts a "clean capture" probe to every cluster. Clean copies become
+// hardware sharers in place (Cases 1b/2b); a single dirty copy with no
+// other sharers is upgraded to owner without a writeback (Case 4b's
+// optimization); mixed or multiple dirty copies are written back and
+// invalidated, with the L3 merging disjoint write sets (Case 3b), and
+// overlapping dirty words — the paper's Case 5b software race — are
+// counted and merged in cluster order.
+func (h *Home) transitionToHW(line addr.Line, cont func(raced bool)) {
+	h.run.TransitionsToHW++
+	h.trace("transition toHW line=%#x (capture broadcast)", uint64(line))
+	h.acquireLine(line, func() {
+		replies := make([]msg.ProbeReply, 0, h.cfg.Clusters)
+		pending := h.cfg.Clusters
+		for c := 0; c < h.cfg.Clusters; c++ {
+			h.sendProbe(c, msg.Probe{Kind: msg.ProbeCapture, Line: line}, func(rep msg.ProbeReply) {
+				replies = append(replies, rep)
+				pending--
+				if pending == 0 {
+					h.captureDecide(line, replies, cont)
+				}
+			})
+		}
+	})
+}
+
+// captureDecide is the second phase of a SW=>HW transition, run once every
+// cluster has answered the capture broadcast.
+func (h *Home) captureDecide(line addr.Line, replies []msg.ProbeReply, cont func(raced bool)) {
+	var clean, dirty []msg.ProbeReply
+	for _, rep := range replies {
+		switch rep.Kind {
+		case msg.ReplyClean:
+			clean = append(clean, rep)
+		case msg.ReplyDirty:
+			dirty = append(dirty, rep)
+		}
+	}
+	raced := false
+	finish := func() {
+		h.completeTxn(line)
+		cont(raced)
+	}
+
+	switch {
+	case len(dirty) == 0 && len(clean) == 0:
+		// Cached nowhere (Figure 7b Case 1b): no entry needed until the
+		// next request allocates one.
+		finish()
+
+	case len(dirty) == 0:
+		// Clean copies only (Case 2b): they already cleared their
+		// incoherent bits; record them as hardware sharers.
+		h.allocEntry(line, func(e *directory.Entry) {
+			e.State = directory.Shared
+			for _, rep := range clean {
+				directory.AddSharer(h.dir, e, rep.Cluster)
+			}
+			finish()
+		})
+
+	case len(dirty) == 1 && len(clean) == 0:
+		// Single dirty writer (Case 4b): upgrade in place, no writeback.
+		owner := dirty[0].Cluster
+		h.allocEntry(line, func(e *directory.Entry) {
+			e.State = directory.Modified
+			e.Owner = owner
+			directory.AddSharer(h.dir, e, owner)
+			h.sendProbe(owner, msg.Probe{Kind: msg.ProbeUpgradeOwner, Line: line}, func(rep msg.ProbeReply) {
+				if rep.Kind == msg.ReplyNotPresent {
+					// The owner evicted between phases; its dirty eviction
+					// has already merged (link FIFO), so the line is simply
+					// uncached now.
+					h.dir.Remove(line)
+				}
+				finish()
+			})
+		})
+
+	default:
+		// Mixed sharers or multiple writers (Cases 3b/5b): write back every
+		// dirty copy, invalidate every clean copy; the per-word masks let
+		// the L3 merge disjoint write sets. Overlap is the Case 5b race.
+		var seen uint8
+		for _, rep := range dirty {
+			if seen&rep.Mask != 0 {
+				h.run.OverlapRaces++
+				raced = true
+			}
+			seen |= rep.Mask
+		}
+		pending := len(dirty) + len(clean)
+		step := func(rep msg.ProbeReply) {
+			h.absorbReplyData(line, rep)
+			pending--
+			if pending == 0 {
+				finish()
+			}
+		}
+		for _, rep := range dirty {
+			h.sendProbe(rep.Cluster, msg.Probe{Kind: msg.ProbeWB, Line: line}, step)
+		}
+		for _, rep := range clean {
+			h.sendProbe(rep.Cluster, msg.Probe{Kind: msg.ProbeInv, Line: line}, step)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package directory
+
+import "fmt"
+
+// AreaInputs describes the machine for the §4.4 storage-overhead model.
+type AreaInputs struct {
+	Clusters        int // number of L2 caches (sharer-vector width)
+	L2LinesPerCache int // 2048 for the 64 KB Table-3 L2
+	L2TotalBytes    int // aggregate L2 capacity (8 MB in the paper)
+	EntriesPerBank  int // sparse/limited directory entries per L3 bank
+	Banks           int
+}
+
+// PaperAreaInputs returns the Table-3 machine the paper's §4.4 numbers
+// assume: 128 L2s × 2048 lines (256K lines, 8 MB), 16K entries per bank,
+// 32 banks.
+func PaperAreaInputs() AreaInputs {
+	return AreaInputs{
+		Clusters:        128,
+		L2LinesPerCache: 2048,
+		L2TotalBytes:    8 << 20,
+		EntriesPerBank:  16 << 10,
+		Banks:           32,
+	}
+}
+
+// AreaEstimate is one scheme's storage cost.
+type AreaEstimate struct {
+	Scheme       string
+	BitsPerEntry int
+	Entries      int
+	Bytes        int
+	PercentOfL2  float64
+}
+
+func (a AreaEstimate) String() string {
+	return fmt.Sprintf("%-28s %3d bits x %7d entries = %8.3f MB (%5.1f%% of L2)",
+		a.Scheme, a.BitsPerEntry, a.Entries, float64(a.Bytes)/(1<<20), a.PercentOfL2)
+}
+
+// Bits per entry, from the paper's §4.4 accounting: a full-map entry holds
+// one sharer bit per L2 plus 2 state bits; sparse schemes add 16 tag bits;
+// Dir4B holds four 7-bit pointers (28 bits) plus 2 state bits; duplicate
+// tags cost 21 tag bits plus 2 state bits per L2 line.
+const (
+	stateBits   = 2
+	sparseTag   = 16
+	dir4BSharer = 28
+	dupTagBits  = 21
+)
+
+func estimate(scheme string, bitsPerEntry, entries, l2Bytes int) AreaEstimate {
+	bytes := (bitsPerEntry*entries + 7) / 8
+	return AreaEstimate{
+		Scheme:       scheme,
+		BitsPerEntry: bitsPerEntry,
+		Entries:      entries,
+		Bytes:        bytes,
+		PercentOfL2:  100 * float64(bytes) / float64(l2Bytes),
+	}
+}
+
+// AreaFullMapSparse estimates the realizable sparse full-map directory
+// (the paper's "full-map ... 9.28 MB (113% of L2)" point).
+func AreaFullMapSparse(in AreaInputs) AreaEstimate {
+	bits := in.Clusters + stateBits + sparseTag
+	return estimate("sparse full-map", bits, in.EntriesPerBank*in.Banks, in.L2TotalBytes)
+}
+
+// AreaDir4B estimates the limited-pointer directory (paper: "2.88 MB
+// (35.1% of L2)").
+func AreaDir4B(in AreaInputs) AreaEstimate {
+	bits := dir4BSharer + stateBits + sparseTag
+	return estimate("Dir4B sparse", bits, in.EntriesPerBank*in.Banks, in.L2TotalBytes)
+}
+
+// AreaDuplicateTags estimates a duplicate-tag scheme with the given number
+// of replicas across L3 banks (paper: "736 KB * Nreplicas", 1x-8x).
+func AreaDuplicateTags(in AreaInputs, replicas int) AreaEstimate {
+	bits := dupTagBits + stateBits
+	entries := in.Clusters * in.L2LinesPerCache * replicas
+	e := estimate(fmt.Sprintf("duplicate tags (x%d)", replicas), bits, entries, in.L2TotalBytes)
+	return e
+}
+
+// AreaTable returns all §4.4 estimates for a machine.
+func AreaTable(in AreaInputs) []AreaEstimate {
+	return []AreaEstimate{
+		AreaFullMapSparse(in),
+		AreaDir4B(in),
+		AreaDuplicateTags(in, 1),
+		AreaDuplicateTags(in, 8),
+	}
+}

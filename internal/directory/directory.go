@@ -1,0 +1,317 @@
+// Package directory implements the on-die directory storage the HWcc
+// protocol uses to track sharers of cache lines (paper §3.2).
+//
+// Three organizations are provided, matching the paper's design points:
+//
+//   - Infinite: a full-map directory with unbounded capacity and full
+//     associativity. This is the optimistic "HWcc ideal" bound that
+//     eliminates directory evictions entirely.
+//   - Sparse: a realistic set-associative sparse full-map directory
+//     (16K entries × 128 ways per L3 bank in Table 3). Entries exist only
+//     for lines present in at least one L2; capacity evictions invalidate
+//     all sharers of the victim line.
+//   - Limited (Dir4B): sparse storage whose entries hold at most four
+//     sharer pointers; adding a fifth sharer sets a broadcast bit, after
+//     which invalidations must be broadcast to every cluster.
+//
+// One directory bank is collocated with each L3 bank; requests for a line
+// are serialized through its home bank, so the storage layer here is
+// purely sequential state.
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cohesion/internal/addr"
+)
+
+// MaxClusters bounds the sharer bitset width (the Table 3 machine has 128).
+const MaxClusters = 128
+
+// LimitedPointers is the pointer count of the Dir4B scheme.
+const LimitedPointers = 4
+
+// Sharers is a fixed-width bitset of cluster IDs.
+type Sharers [MaxClusters / 64]uint64
+
+// Add sets cluster c; it reports whether c was newly added.
+func (s *Sharers) Add(c int) bool {
+	w, b := c/64, uint(c%64)
+	if s[w]&(1<<b) != 0 {
+		return false
+	}
+	s[w] |= 1 << b
+	return true
+}
+
+// Remove clears cluster c; it reports whether c was present.
+func (s *Sharers) Remove(c int) bool {
+	w, b := c/64, uint(c%64)
+	if s[w]&(1<<b) == 0 {
+		return false
+	}
+	s[w] &^= 1 << b
+	return true
+}
+
+// Has reports whether cluster c is in the set.
+func (s Sharers) Has(c int) bool { return s[c/64]&(1<<uint(c%64)) != 0 }
+
+// Count returns the number of sharers.
+func (s Sharers) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no sharers remain.
+func (s Sharers) Empty() bool { return s == Sharers{} }
+
+// ForEach calls fn for each sharer in ascending cluster order.
+func (s Sharers) ForEach(fn func(cluster int)) {
+	for wi, w := range s {
+		for ; w != 0; w &= w - 1 {
+			fn(wi*64 + bits.TrailingZeros64(w))
+		}
+	}
+}
+
+// State is the directory's view of a line.
+type State uint8
+
+const (
+	// Shared: one or more clusters hold the line clean.
+	Shared State = iota
+	// Modified: exactly one cluster owns the line dirty.
+	Modified
+)
+
+func (s State) String() string {
+	if s == Shared {
+		return "S"
+	}
+	return "M"
+}
+
+// Entry is one directory entry. For Modified lines Owner identifies the
+// owning cluster and Sharers contains only the owner. For limited
+// directories Broadcast means the precise sharer set was lost to pointer
+// overflow and invalidations must go to every cluster.
+type Entry struct {
+	Line      addr.Line
+	State     State
+	Sharers   Sharers
+	Owner     int
+	Broadcast bool
+	Pinned    bool // a directory transaction is in flight on this line
+
+	lastUse uint64
+}
+
+// Directory is the storage interface shared by all three organizations.
+type Directory interface {
+	// Lookup returns the entry for line, or nil.
+	Lookup(line addr.Line) *Entry
+	// HasRoom reports whether Allocate(line) would succeed without a
+	// capacity eviction.
+	HasRoom(line addr.Line) bool
+	// Victim returns the entry that must be torn down before line can be
+	// allocated, or nil if there is room. Pinned entries are never chosen;
+	// if every candidate is pinned, Victim returns nil and HasRoom false —
+	// the controller must retry after a transaction drains.
+	Victim(line addr.Line) *Entry
+	// Allocate installs a fresh Shared entry with no sharers. It panics if
+	// the line is resident or there is no room.
+	Allocate(line addr.Line) *Entry
+	// Remove deallocates the entry for line if present.
+	Remove(line addr.Line)
+	// Count reports the number of allocated entries.
+	Count() int
+	// CountByClass breaks Count down by address class (Fig 9c).
+	CountByClass() [addr.NumClasses]uint64
+	// ForEach visits every allocated entry.
+	ForEach(fn func(*Entry))
+	// Limited reports whether the organization is pointer-limited (Dir4B);
+	// the protocol consults this when adding sharers.
+	Limited() bool
+}
+
+// AddSharer records cluster as a sharer of e, honoring the pointer limit
+// of limited organizations: when a fifth sharer arrives, the broadcast bit
+// is set and the precise set is no longer trusted.
+func AddSharer(d Directory, e *Entry, cluster int) {
+	if d.Limited() && !e.Broadcast && !e.Sharers.Has(cluster) && e.Sharers.Count() >= LimitedPointers {
+		e.Broadcast = true
+	}
+	e.Sharers.Add(cluster)
+}
+
+// --- Infinite full-map ---
+
+type infinite struct {
+	entries map[addr.Line]*Entry
+}
+
+// NewInfinite returns the optimistic unbounded full-map directory.
+func NewInfinite() Directory {
+	return &infinite{entries: make(map[addr.Line]*Entry)}
+}
+
+func (d *infinite) Lookup(line addr.Line) *Entry { return d.entries[line] }
+func (d *infinite) HasRoom(addr.Line) bool       { return true }
+func (d *infinite) Victim(addr.Line) *Entry      { return nil }
+func (d *infinite) Limited() bool                { return false }
+
+func (d *infinite) Allocate(line addr.Line) *Entry {
+	if d.entries[line] != nil {
+		panic(fmt.Sprintf("directory: Allocate of resident line %#x", uint64(line)))
+	}
+	e := &Entry{Line: line}
+	d.entries[line] = e
+	return e
+}
+
+func (d *infinite) Remove(line addr.Line) { delete(d.entries, line) }
+func (d *infinite) Count() int            { return len(d.entries) }
+
+func (d *infinite) CountByClass() [addr.NumClasses]uint64 {
+	var out [addr.NumClasses]uint64
+	for line := range d.entries {
+		out[addr.Classify(line.Base())]++
+	}
+	return out
+}
+
+func (d *infinite) ForEach(fn func(*Entry)) {
+	for _, e := range d.entries {
+		fn(e)
+	}
+}
+
+// --- Sparse set-associative (full-map or limited) ---
+
+type sparse struct {
+	sets    [][]Entry
+	ways    int
+	tick    uint64
+	count   int
+	limited bool
+	byClass [addr.NumClasses]uint64
+}
+
+// NewSparse returns a set-associative sparse directory of the given total
+// entry count. assoc 0 means fully associative (one set).
+func NewSparse(entries, assoc int, limited bool) Directory {
+	if entries < 1 {
+		panic("directory: need at least one entry")
+	}
+	if assoc <= 0 || assoc > entries {
+		assoc = entries
+	}
+	if entries%assoc != 0 {
+		panic(fmt.Sprintf("directory: entries %d not a multiple of assoc %d", entries, assoc))
+	}
+	nsets := entries / assoc
+	d := &sparse{sets: make([][]Entry, nsets), ways: assoc, limited: limited}
+	for i := range d.sets {
+		d.sets[i] = make([]Entry, assoc)
+	}
+	return d
+}
+
+func (d *sparse) set(line addr.Line) []Entry {
+	return d.sets[uint64(line)%uint64(len(d.sets))]
+}
+
+func (d *sparse) Limited() bool { return d.limited }
+
+func (d *sparse) Lookup(line addr.Line) *Entry {
+	set := d.set(line)
+	for i := range set {
+		if set[i].lastUse != 0 && set[i].Line == line {
+			d.tick++
+			set[i].lastUse = d.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (d *sparse) HasRoom(line addr.Line) bool {
+	set := d.set(line)
+	for i := range set {
+		if set[i].lastUse == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *sparse) Victim(line addr.Line) *Entry {
+	set := d.set(line)
+	var victim *Entry
+	for i := range set {
+		e := &set[i]
+		if e.lastUse == 0 {
+			return nil // room available
+		}
+		if e.Pinned {
+			continue
+		}
+		if victim == nil || e.lastUse < victim.lastUse {
+			victim = e
+		}
+	}
+	return victim
+}
+
+func (d *sparse) Allocate(line addr.Line) *Entry {
+	set := d.set(line)
+	var slot *Entry
+	for i := range set {
+		e := &set[i]
+		if e.lastUse != 0 && e.Line == line {
+			panic(fmt.Sprintf("directory: Allocate of resident line %#x", uint64(line)))
+		}
+		if e.lastUse == 0 && slot == nil {
+			slot = e
+		}
+	}
+	if slot == nil {
+		panic(fmt.Sprintf("directory: no room for line %#x", uint64(line)))
+	}
+	d.tick++
+	*slot = Entry{Line: line, lastUse: d.tick}
+	d.count++
+	d.byClass[addr.Classify(line.Base())]++
+	return slot
+}
+
+func (d *sparse) Remove(line addr.Line) {
+	set := d.set(line)
+	for i := range set {
+		if set[i].lastUse != 0 && set[i].Line == line {
+			d.byClass[addr.Classify(line.Base())]--
+			set[i] = Entry{}
+			d.count--
+			return
+		}
+	}
+}
+
+func (d *sparse) Count() int { return d.count }
+
+func (d *sparse) CountByClass() [addr.NumClasses]uint64 { return d.byClass }
+
+func (d *sparse) ForEach(fn func(*Entry)) {
+	for s := range d.sets {
+		for w := range d.sets[s] {
+			if d.sets[s][w].lastUse != 0 {
+				fn(&d.sets[s][w])
+			}
+		}
+	}
+}

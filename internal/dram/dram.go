@@ -1,0 +1,180 @@
+// Package dram provides the off-chip memory substrate: a word-addressed
+// backing store holding the architectural value of every memory location,
+// and a GDDR5-like timing model — per-channel bandwidth queueing over
+// banked devices with open-row buffers (a row hit costs column access
+// only; a row miss pays precharge + activate).
+//
+// The paper's simulator uses a cycle-accurate GDDR5 model; this model
+// keeps the two effects the evaluation depends on — channel queueing
+// under load and row-locality sensitivity — without modelling individual
+// command buses. The substitution is documented in DESIGN.md.
+package dram
+
+import (
+	"cohesion/internal/addr"
+	"cohesion/internal/event"
+	"cohesion/internal/stats"
+)
+
+// Store holds the architectural contents of memory, one 32-bit word at a
+// time, organized by cache line. Lines never written read as zero.
+type Store struct {
+	lines map[addr.Line]*[addr.WordsPerLine]uint32
+}
+
+// NewStore returns an empty memory image.
+func NewStore() *Store {
+	return &Store{lines: make(map[addr.Line]*[addr.WordsPerLine]uint32)}
+}
+
+// ReadWord returns the word containing address a.
+func (s *Store) ReadWord(a addr.Addr) uint32 {
+	l := s.lines[addr.LineOf(a)]
+	if l == nil {
+		return 0
+	}
+	return l[addr.WordIndex(a)]
+}
+
+// WriteWord stores v into the word containing address a.
+func (s *Store) WriteWord(a addr.Addr, v uint32) {
+	line := addr.LineOf(a)
+	l := s.lines[line]
+	if l == nil {
+		l = new([addr.WordsPerLine]uint32)
+		s.lines[line] = l
+	}
+	l[addr.WordIndex(a)] = v
+}
+
+// ReadLine copies the full contents of a line.
+func (s *Store) ReadLine(line addr.Line) [addr.WordsPerLine]uint32 {
+	if l := s.lines[line]; l != nil {
+		return *l
+	}
+	return [addr.WordsPerLine]uint32{}
+}
+
+// MergeLine writes back the words of data selected by mask (bit i = word i),
+// leaving other words untouched. This implements the paper's per-word
+// dirty-bit merge that lets the L3 combine disjoint write sets from
+// multiple SWcc writers.
+func (s *Store) MergeLine(line addr.Line, mask uint8, data [addr.WordsPerLine]uint32) {
+	if mask == 0 {
+		return
+	}
+	l := s.lines[line]
+	if l == nil {
+		l = new([addr.WordsPerLine]uint32)
+		s.lines[line] = l
+	}
+	for w := 0; w < addr.WordsPerLine; w++ {
+		if mask&(1<<w) != 0 {
+			l[w] = data[w]
+		}
+	}
+}
+
+// LinesTouched reports how many distinct lines have ever been written.
+func (s *Store) LinesTouched() int { return len(s.lines) }
+
+// Device geometry: a 2 KB row (the paper's footnote strides the address
+// space across controllers at DRAM-row granularity, addr[10..0] within a
+// row) and sixteen banks per channel.
+const (
+	rowShift        = 11 // log2(2 KB row)
+	BanksPerChannel = 16
+)
+
+// Controller models the DRAM channels' timing. Each channel is a FIFO
+// resource (a line transfer occupies it for OccupancyCycles); each of its
+// banks keeps one row open — a transfer to the open row completes after
+// the row-hit latency, any other row pays the full access latency.
+type Controller struct {
+	q               *event.Queue
+	run             *stats.Run
+	missLatency     event.Cycle // precharge + activate + CAS
+	hitLatency      event.Cycle // CAS only (open row)
+	occupancy       event.Cycle
+	banksPerChannel int // L3 banks per channel
+	nextFree        []event.Cycle
+	openRow         [][]uint64 // [channel][dramBank] -> open row id + 1 (0 = none)
+
+	// RowHits/RowMisses report the row-buffer behaviour of the run.
+	RowHits, RowMisses uint64
+}
+
+// NewController builds a timing model with the given channel count, the
+// number of L3 banks feeding each channel, the row-miss access latency,
+// and per-line channel occupancy (all in cycles). The row-hit latency is
+// half the miss latency, floor 1.
+func NewController(q *event.Queue, run *stats.Run, channels, l3Banks, latency, occupancy int) *Controller {
+	if channels < 1 || l3Banks < channels || l3Banks%channels != 0 {
+		panic("dram: bad channel/bank geometry")
+	}
+	hit := latency / 2
+	if hit < 1 {
+		hit = 1
+	}
+	c := &Controller{
+		q:               q,
+		run:             run,
+		missLatency:     event.Cycle(latency),
+		hitLatency:      event.Cycle(hit),
+		occupancy:       event.Cycle(occupancy),
+		banksPerChannel: l3Banks / channels,
+		nextFree:        make([]event.Cycle, channels),
+		openRow:         make([][]uint64, channels),
+	}
+	for i := range c.openRow {
+		c.openRow[i] = make([]uint64, BanksPerChannel)
+	}
+	return c
+}
+
+// ChannelForBank maps an L3 bank to its DRAM channel (four banks per
+// channel in the Table 3 configuration).
+func (c *Controller) ChannelForBank(bank int) int { return bank / c.banksPerChannel }
+
+// Access schedules a line read or write from the given L3 bank and runs
+// done when the transfer completes. Timing only; data movement is the
+// caller's job via Store.
+func (c *Controller) Access(bank int, line addr.Line, write bool, done func()) {
+	ch := c.ChannelForBank(bank)
+	start := c.q.Now()
+	if c.nextFree[ch] > start {
+		start = c.nextFree[ch]
+	}
+	c.nextFree[ch] = start + c.occupancy
+
+	rowID := uint64(line.Base()) >> rowShift
+	dramBank := int(rowID % BanksPerChannel)
+	row := rowID/BanksPerChannel + 1 // +1 so 0 means "no open row"
+	latency := c.missLatency
+	if c.openRow[ch][dramBank] == row {
+		latency = c.hitLatency
+		c.RowHits++
+	} else {
+		c.openRow[ch][dramBank] = row
+		c.RowMisses++
+	}
+
+	if c.run != nil {
+		if write {
+			c.run.DRAMWrites++
+		} else {
+			c.run.DRAMReads++
+		}
+	}
+	c.q.At(start+latency, done)
+}
+
+// QueueDelay reports how far ahead of now the channel for bank is booked;
+// useful for tests asserting the bandwidth model engages.
+func (c *Controller) QueueDelay(bank int) event.Cycle {
+	ch := c.ChannelForBank(bank)
+	if c.nextFree[ch] <= c.q.Now() {
+		return 0
+	}
+	return c.nextFree[ch] - c.q.Now()
+}

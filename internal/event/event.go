@@ -1,0 +1,120 @@
+// Package event provides the deterministic discrete-event simulation engine
+// that drives the Cohesion machine model.
+//
+// The engine is a binary-heap priority queue of (cycle, sequence, fn)
+// triples. Events scheduled for the same cycle fire in the order they were
+// scheduled, which makes every simulation run bit-for-bit reproducible: the
+// machine model is single-threaded and all nondeterminism is confined to
+// explicitly seeded PRNGs in workload generators.
+package event
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle uint64
+
+// Func is the body of a scheduled event. It runs exactly once, at the cycle
+// it was scheduled for.
+type Func func()
+
+type item struct {
+	at  Cycle
+	seq uint64
+	fn  Func
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(item)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = item{}
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a discrete-event scheduler. The zero value is ready to use.
+type Queue struct {
+	h    eventHeap
+	now  Cycle
+	seq  uint64
+	fire uint64
+}
+
+// Now reports the current simulated cycle: the cycle of the event being
+// executed, or of the last executed event when called between events.
+func (q *Queue) Now() Cycle { return q.now }
+
+// Fired reports how many events have been executed so far.
+func (q *Queue) Fired() uint64 { return q.fire }
+
+// Pending reports how many events are scheduled but not yet executed.
+func (q *Queue) Pending() int { return len(q.h) }
+
+// At schedules fn to run at absolute cycle at. Scheduling in the past
+// (at < Now) panics: it indicates a broken latency computation in the
+// machine model, and silently reordering time would corrupt every
+// downstream measurement.
+func (q *Queue) At(at Cycle, fn Func) {
+	if at < q.now {
+		panic("event: scheduled in the past")
+	}
+	q.seq++
+	heap.Push(&q.h, item{at: at, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (q *Queue) After(delay Cycle, fn Func) {
+	q.At(q.now+delay, fn)
+}
+
+// Step executes the single earliest pending event and reports whether one
+// existed.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	it := heap.Pop(&q.h).(item)
+	q.now = it.at
+	q.fire++
+	it.fn()
+	return true
+}
+
+// Run executes events until the queue drains or the limit on executed
+// events is reached. A limit of 0 means no limit. It returns the number of
+// events executed by this call and whether the queue drained.
+func (q *Queue) Run(limit uint64) (executed uint64, drained bool) {
+	for {
+		if limit != 0 && executed >= limit {
+			return executed, false
+		}
+		if !q.Step() {
+			return executed, true
+		}
+		executed++
+	}
+}
+
+// RunUntil executes events with Now <= deadline. Events scheduled beyond
+// the deadline remain pending. It reports whether the queue drained.
+func (q *Queue) RunUntil(deadline Cycle) (drained bool) {
+	for len(q.h) > 0 && q.h[0].at <= deadline {
+		q.Step()
+	}
+	return len(q.h) == 0
+}

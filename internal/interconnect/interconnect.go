@@ -1,0 +1,146 @@
+// Package interconnect models the two-level network between the clusters
+// and the L3 cache banks (paper §3.1): a tree stage that combines the
+// traffic of sixteen clusters, whose roots feed a crossbar connected to
+// the L3 banks.
+//
+// Each directed link is a FIFO resource: a message occupies the link for
+// size/bandwidth cycles and arrives after the link's hop latency. A
+// message from a cluster to a bank crosses three links — the cluster's
+// private tree leaf link, its tree's shared trunk (where the sixteen
+// clusters of one tree contend), and the target bank's crossbar port —
+// and the mirror-image path coming back. Because reservations are made in
+// send order and every (source, destination) pair uses a fixed path, the
+// network preserves point-to-point ordering, which the coherence protocol
+// relies on (the directory's response to a requester cannot be overtaken
+// by a later probe to the same requester).
+package interconnect
+
+import (
+	"math/rand"
+
+	"cohesion/internal/event"
+)
+
+// BytesPerCycle is the per-link bandwidth: a control message occupies a
+// link for one cycle, a line-bearing message for five.
+const BytesPerCycle = 8
+
+// ClustersPerTree is the fan-in of one tree stage (paper: sixteen).
+const ClustersPerTree = 16
+
+type link struct {
+	nextFree event.Cycle
+}
+
+// reserve books the link starting no earlier than start, for occ cycles,
+// and returns the departure time.
+func (l *link) reserve(start event.Cycle, occ event.Cycle) event.Cycle {
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	l.nextFree = start + occ
+	return start
+}
+
+// Network connects clusters to L3 banks.
+type Network struct {
+	q           *event.Queue
+	treeLatency event.Cycle
+	xbarLatency event.Cycle
+
+	// Directed links, indexed by endpoint. The trunk links are shared by
+	// the ClustersPerTree clusters under one tree root.
+	clusterUp   []link // cluster -> its tree leaf
+	clusterDown []link // tree leaf -> cluster
+	trunkUp     []link // tree root -> crossbar (shared per tree)
+	trunkDown   []link // crossbar -> tree root (shared per tree)
+	bankUp      []link // crossbar -> bank
+	bankDown    []link // bank -> crossbar
+
+	// Counters for network-load reporting.
+	MessagesUp, MessagesDown uint64
+	BytesUp, BytesDown       uint64
+
+	// jitter, when non-nil, draws a random extra occupancy (0..jitterMax)
+	// for every link traversal. Because jitter is applied as occupancy,
+	// per-link FIFO ordering — which the protocol depends on — is
+	// preserved; only interleavings across links change. Deterministic
+	// for a given seed.
+	jitter    *rand.Rand
+	jitterMax int
+}
+
+// New builds a network for the given topology. treeLatency is the one-way
+// cluster<->root delay; xbarLatency the one-way root<->bank delay.
+func New(q *event.Queue, clusters, banks, treeLatency, xbarLatency int) *Network {
+	trees := (clusters + ClustersPerTree - 1) / ClustersPerTree
+	return &Network{
+		q:           q,
+		treeLatency: event.Cycle(treeLatency),
+		xbarLatency: event.Cycle(xbarLatency),
+		clusterUp:   make([]link, clusters),
+		clusterDown: make([]link, clusters),
+		trunkUp:     make([]link, trees),
+		trunkDown:   make([]link, trees),
+		bankUp:      make([]link, banks),
+		bankDown:    make([]link, banks),
+	}
+}
+
+// SetJitter enables randomized per-traversal link occupancy of up to max
+// extra cycles, seeded deterministically. Used by robustness tests to
+// perturb event interleavings without breaking per-link ordering.
+func (n *Network) SetJitter(max int, seed int64) {
+	if max <= 0 {
+		n.jitter, n.jitterMax = nil, 0
+		return
+	}
+	n.jitter = rand.New(rand.NewSource(seed))
+	n.jitterMax = max
+}
+
+func (n *Network) occupancy(bytes int) event.Cycle {
+	c := event.Cycle((bytes + BytesPerCycle - 1) / BytesPerCycle)
+	if c == 0 {
+		c = 1
+	}
+	if n.jitter != nil {
+		c += event.Cycle(n.jitter.Intn(n.jitterMax + 1))
+	}
+	return c
+}
+
+// treeOf maps a cluster to its tree trunk.
+func treeOf(cluster int) int { return cluster / ClustersPerTree }
+
+// ToBank sends a message of the given size from a cluster to an L3 bank
+// and runs deliver on arrival. The path is leaf link, shared trunk,
+// crossbar port.
+func (n *Network) ToBank(cluster, bank, bytes int, deliver func()) {
+	occ := n.occupancy(bytes)
+	depart := n.clusterUp[cluster].reserve(n.q.Now(), occ)
+	atRoot := depart + n.treeLatency
+	depart2 := n.trunkUp[treeOf(cluster)].reserve(atRoot, occ)
+	depart3 := n.bankUp[bank].reserve(depart2, occ)
+	n.MessagesUp++
+	n.BytesUp += uint64(bytes)
+	n.q.At(depart3+n.xbarLatency, deliver)
+}
+
+// ToCluster sends a message from an L3 bank back to a cluster.
+func (n *Network) ToCluster(bank, cluster, bytes int, deliver func()) {
+	occ := n.occupancy(bytes)
+	depart := n.bankDown[bank].reserve(n.q.Now(), occ)
+	atXbar := depart + n.xbarLatency
+	depart2 := n.trunkDown[treeOf(cluster)].reserve(atXbar, occ)
+	depart3 := n.clusterDown[cluster].reserve(depart2, occ)
+	n.MessagesDown++
+	n.BytesDown += uint64(bytes)
+	n.q.At(depart3+n.treeLatency, deliver)
+}
+
+// OneWayLatency reports the unloaded cluster->bank delay, for tests and
+// timing documentation.
+func (n *Network) OneWayLatency() event.Cycle {
+	return n.treeLatency + n.xbarLatency
+}

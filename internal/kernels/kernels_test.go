@@ -1,0 +1,124 @@
+package kernels
+
+import (
+	"testing"
+
+	"cohesion/internal/config"
+	"cohesion/internal/machine"
+	"cohesion/internal/msg"
+	"cohesion/internal/rt"
+)
+
+func modeCfg(mode config.Mode) config.Machine {
+	cfg := config.Scaled(2).WithMode(mode)
+	if mode != config.SWcc {
+		cfg = cfg.WithDirectory(config.DirInfinite, 0, 0)
+	}
+	return cfg
+}
+
+// runKernel builds and runs one kernel on a 16-core machine and returns
+// the runtime for inspection. Verification and invariants are mandatory.
+func runKernel(t *testing.T, name string, mode config.Mode, scale int) *rt.Runtime {
+	t.Helper()
+	m, err := machine.New(modeCfg(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := 8
+	r, err := rt.New(m, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Build(name, r, Params{Scale: scale, Seed: 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wkr := 0; wkr < workers; wkr++ {
+		// Spread workers across both clusters.
+		r.Spawn(wkr*2, inst.CodeBytes, inst.Worker)
+	}
+	if err := m.Simulate(500_000_000); err != nil {
+		t.Fatalf("%s/%v: %v", name, mode, err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("%s/%v invariants: %v", name, mode, err)
+	}
+	m.DrainToMemory()
+	if err := inst.Verify(r); err != nil {
+		t.Fatalf("%s/%v verify: %v", name, mode, err)
+	}
+	return r
+}
+
+func TestAllKernelsAllModes(t *testing.T) {
+	for _, name := range Names() {
+		for _, mode := range []config.Mode{config.SWcc, config.HWcc, config.Cohesion} {
+			name, mode := name, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				runKernel(t, name, mode, 1)
+			})
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"cg", "dmm", "gjk", "heat", "kmeans", "mri", "sobel", "stencil"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if _, err := Build("nope", nil, Params{}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	a := runKernel(t, "heat", config.Cohesion, 1)
+	b := runKernel(t, "heat", config.Cohesion, 1)
+	if a.M.Run.Cycles != b.M.Run.Cycles || a.M.Run.TotalMessages() != b.M.Run.TotalMessages() {
+		t.Fatalf("nondeterministic: cycles %d/%d messages %d/%d",
+			a.M.Run.Cycles, b.M.Run.Cycles, a.M.Run.TotalMessages(), b.M.Run.TotalMessages())
+	}
+}
+
+func TestSWccIssuesCoherenceInstructions(t *testing.T) {
+	r := runKernel(t, "heat", config.SWcc, 1)
+	if r.M.Run.InvIssued == 0 || r.M.Run.WBIssued == 0 {
+		t.Fatalf("SWcc heat issued inv=%d wb=%d", r.M.Run.InvIssued, r.M.Run.WBIssued)
+	}
+}
+
+func TestHWccIssuesNone(t *testing.T) {
+	r := runKernel(t, "heat", config.HWcc, 1)
+	if r.M.Run.InvIssued != 0 || r.M.Run.WBIssued != 0 {
+		t.Fatalf("HWcc heat issued inv=%d wb=%d, want none", r.M.Run.InvIssued, r.M.Run.WBIssued)
+	}
+}
+
+func TestKMeansAtomicsShapeAcrossModes(t *testing.T) {
+	// The paper's kmeans signature: SWcc (and HWcc) are dominated by
+	// uncached atomics; the Cohesion variant reduces them by relying on
+	// hardware coherence (§4.2).
+	sw := runKernel(t, "kmeans", config.SWcc, 1)
+	coh := runKernel(t, "kmeans", config.Cohesion, 1)
+	if coh.M.Run.Messages[msg.Atomic] >= sw.M.Run.Messages[msg.Atomic] {
+		t.Fatalf("Cohesion kmeans atomics (%d) not below SWcc (%d)",
+			coh.M.Run.Messages[msg.Atomic], sw.M.Run.Messages[msg.Atomic])
+	}
+}
+
+func TestCohesionUsesTransitionsOnlyWhenAsked(t *testing.T) {
+	// None of the base kernels transition domains mid-run; their Cohesion
+	// benefit comes from placement (incoherent heap + coarse regions).
+	r := runKernel(t, "dmm", config.Cohesion, 1)
+	if r.M.Run.TransitionsToHW != 0 || r.M.Run.TransitionsToSW != 0 {
+		t.Fatalf("unexpected transitions: %d/%d", r.M.Run.TransitionsToHW, r.M.Run.TransitionsToSW)
+	}
+}

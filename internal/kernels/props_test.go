@@ -1,0 +1,192 @@
+package kernels
+
+import (
+	"fmt"
+	"testing"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/config"
+	"cohesion/internal/machine"
+	"cohesion/internal/rt"
+)
+
+// runWith is runKernel with explicit worker count and scale.
+func runWith(t *testing.T, name string, mode config.Mode, scale, workers int, seed int64) *rt.Runtime {
+	t.Helper()
+	m, err := machine.New(modeCfg(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.New(m, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Build(name, r, Params{Scale: scale, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wkr := 0; wkr < workers; wkr++ {
+		r.Spawn(wkr*(m.Cfg.Cores()/workers), inst.CodeBytes, inst.Worker)
+	}
+	if err := m.Simulate(500_000_000); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("%s invariants: %v", name, err)
+	}
+	m.DrainToMemory()
+	if err := inst.Verify(r); err != nil {
+		t.Fatalf("%s verify: %v", name, err)
+	}
+	return r
+}
+
+// Scale must grow the work for every kernel (guards against a kernel
+// ignoring its Params).
+func TestScaleGrowsWork(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			small := runWith(t, name, config.Cohesion, 1, 4, 5)
+			large := runWith(t, name, config.Cohesion, 2, 4, 5)
+			if large.M.Run.Instructions <= small.M.Run.Instructions {
+				t.Fatalf("instructions did not grow with scale: %d -> %d",
+					small.M.Run.Instructions, large.M.Run.Instructions)
+			}
+		})
+	}
+}
+
+// The seed must change the workload data (guards against a kernel
+// ignoring it). The op-stream shape is deliberately value-independent, so
+// compare the generated input data instead of timing.
+func TestSeedChangesWorkload(t *testing.T) {
+	a := runWith(t, "kmeans", config.Cohesion, 1, 4, 1)
+	b := runWith(t, "kmeans", config.Cohesion, 1, 4, 2)
+	base := a.Globals.Span().Base
+	differs := false
+	for i := 0; i < 64; i++ {
+		if a.ReadWord(base+addr.Addr(4*i)) != b.ReadWord(base+addr.Addr(4*i)) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical input data")
+	}
+}
+
+// Verified results must hold for odd worker counts too (task distribution
+// must not assume workers divide tasks).
+func TestOddWorkerCounts(t *testing.T) {
+	for _, name := range []string{"heat", "cg", "kmeans"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runWith(t, name, config.Cohesion, 1, 3, 9)
+			runWith(t, name, config.SWcc, 1, 5, 9)
+		})
+	}
+}
+
+// A single worker degenerates to sequential execution and must still
+// verify in every mode (exercises the task queue's termination path).
+func TestSingleWorker(t *testing.T) {
+	for _, mode := range []config.Mode{config.SWcc, config.HWcc, config.Cohesion} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			runWith(t, "dmm", mode, 1, 1, 3)
+		})
+	}
+}
+
+// Cohesion placement: the deliberately hardware-managed kernels (cg's
+// reducer structures, kmeans' accumulators, gjk's outputs) must show
+// directory occupancy; the pure-BSP kernels must not (their data lives
+// entirely in the SWcc domain).
+func TestCohesionPlacementSplitsDomains(t *testing.T) {
+	wantTracked := map[string]bool{
+		"cg": true, "gjk": true, "kmeans": true,
+		"dmm": false, "heat": false, "mri": false, "sobel": false, "stencil": false,
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			r := runWith(t, name, config.Cohesion, 2, 4, 11)
+			mean := r.M.Run.Occupancy.MeanTotal()
+			if wantTracked[name] && mean == 0 {
+				t.Fatalf("%s: expected directory occupancy under Cohesion, got none", name)
+			}
+			if !wantTracked[name] && mean != 0 {
+				t.Fatalf("%s: expected zero directory occupancy, got %.1f", name, mean)
+			}
+		})
+	}
+}
+
+// Under pure HWcc every kernel populates the directory; under pure SWcc
+// there is no directory at all and no probes ever.
+func TestModeInvariantsAcrossKernels(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			hw := runWith(t, name, config.HWcc, 1, 4, 13)
+			if hw.M.Run.Occupancy.MaxTotal() == 0 {
+				t.Fatalf("%s: HWcc never used the directory", name)
+			}
+			sw := runWith(t, name, config.SWcc, 1, 4, 13)
+			if sw.M.Run.ProbesSent != 0 {
+				t.Fatalf("%s: SWcc sent %d probes", name, sw.M.Run.ProbesSent)
+			}
+			if sw.M.Run.TransitionsToHW+sw.M.Run.TransitionsToSW != 0 {
+				t.Fatalf("%s: SWcc performed transitions", name)
+			}
+		})
+	}
+}
+
+// Kernels must verify under perturbed network interleavings: seeded link
+// jitter explores different event orders without breaking the per-link
+// ordering the protocol requires.
+func TestKernelsRobustToNetworkJitter(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprint("seed", seed), func(t *testing.T) {
+			t.Parallel()
+			for _, mode := range []config.Mode{config.SWcc, config.HWcc, config.Cohesion} {
+				cfg := modeCfg(mode)
+				cfg.NetJitter = 6
+				cfg.NetJitterSeed = seed
+				m, err := machine.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := rt.New(m, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst, err := Build("heat", r, Params{Scale: 1, Seed: 17})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for wkr := 0; wkr < 8; wkr++ {
+					r.Spawn(wkr*2, inst.CodeBytes, inst.Worker)
+				}
+				if err := m.Simulate(500_000_000); err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				if err := m.CheckInvariants(); err != nil {
+					t.Fatalf("%v invariants: %v", mode, err)
+				}
+				m.DrainToMemory()
+				if err := inst.Verify(r); err != nil {
+					t.Fatalf("%v verify under jitter: %v", mode, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"testing"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/cluster"
+)
+
+// Classic memory-model litmus tests, run under hardware coherence. The
+// machine's cores are in-order and blocking (one outstanding operation),
+// and the directory serializes each line's transitions, so the forbidden
+// outcomes of these litmus patterns must never appear. Each test runs the
+// pattern many times with varied skew to shake out interleavings.
+
+const litmusRounds = 24
+
+// litmus2 runs a two-thread pattern on two clusters repeatedly. Each round
+// gets fresh addresses so rounds are independent.
+func litmus2(t *testing.T, body func(round int, x, y addr.Addr, c0, c1 func(func(c *cluster.Core)))) {
+	t.Helper()
+	m := newMachine(t, hwccCfg(2))
+	type job struct{ fn func(c *cluster.Core) }
+	var q0, q1 []job
+	c0 := func(fn func(c *cluster.Core)) { q0 = append(q0, job{fn}) }
+	c1 := func(fn func(c *cluster.Core)) { q1 = append(q1, job{fn}) }
+	for r := 0; r < litmusRounds; r++ {
+		x := addr.Addr(addr.HeapBase) + addr.Addr(r*0x100)
+		y := x + 0x40
+		body(r, x, y, c0, c1)
+	}
+	barrier := func(c *cluster.Core, round int) {
+		// Simple two-party round barrier on an uncached word pair.
+		me := addr.Addr(addr.GlobalBase+0x1000) + addr.Addr(8*round)
+		atomic(c, me, 0, 1) // AtomicAdd 1
+		for uncLoad(c, me) != 2 {
+			c.Do(cluster.Op{Kind: cluster.OpWork, Cycles: 15})
+		}
+	}
+	program(m, 0, func(c *cluster.Core) {
+		for r, j := range q0 {
+			j.fn(c)
+			barrier(c, r)
+		}
+	})
+	program(m, 8, func(c *cluster.Core) {
+		for r, j := range q1 {
+			j.fn(c)
+			barrier(c, r)
+		}
+	})
+	simulate(t, m)
+}
+
+// MP (message passing): after observing the flag, the data must be
+// visible. flag is written with an uncached store (the runtime's
+// publication idiom); data travels through the coherent caches.
+func TestLitmusMessagePassing(t *testing.T) {
+	violations := 0
+	litmus2(t, func(r int, x, y addr.Addr, c0, c1 func(func(c *cluster.Core))) {
+		skew := (r % 5) * 7
+		c0(func(c *cluster.Core) {
+			st(c, x, uint32(r)+1)
+			uncStore(c, y, 1)
+		})
+		c1(func(c *cluster.Core) {
+			c.Do(cluster.Op{Kind: cluster.OpWork, Cycles: int64(skew + 1)})
+			if uncLoad(c, y) == 1 {
+				if ld(c, x) != uint32(r)+1 {
+					violations++
+				}
+			}
+		})
+	})
+	if violations != 0 {
+		t.Fatalf("%d message-passing violations (stale data after flag)", violations)
+	}
+}
+
+// CoRR (coherent read-read): two reads of the same location by one core
+// must not observe values in reverse coherence order. With a single writer
+// incrementing the location, later reads never see smaller values.
+func TestLitmusCoRR(t *testing.T) {
+	violations := 0
+	litmus2(t, func(r int, x, y addr.Addr, c0, c1 func(func(c *cluster.Core))) {
+		c0(func(c *cluster.Core) {
+			st(c, x, 1)
+			st(c, x, 2)
+		})
+		c1(func(c *cluster.Core) {
+			a := ld(c, x)
+			b := ld(c, x)
+			if b < a {
+				violations++
+			}
+		})
+	})
+	if violations != 0 {
+		t.Fatalf("%d coherence-order violations (read-read regression)", violations)
+	}
+}
+
+// Atomicity: concurrent read-modify-writes to one word never lose updates
+// even when the word's line keeps moving between the clusters' caches via
+// ordinary loads/stores in between.
+func TestLitmusAtomicityUnderMigration(t *testing.T) {
+	m := newMachine(t, hwccCfg(2))
+	ctr := addr.Addr(addr.HeapBase)
+	const per = 60
+	worker := func(c *cluster.Core) {
+		for i := 0; i < per; i++ {
+			atomic(c, ctr, 0, 1)    // AtomicAdd 1
+			_ = ld(c, ctr)          // pull the line into this cluster's L2
+			st(c, ctr+4, uint32(i)) // dirty the line too
+		}
+	}
+	program(m, 0, worker)
+	program(m, 8, worker)
+	simulate(t, m)
+	m.DrainToMemory()
+	if got := m.Store.ReadWord(ctr); got != 2*per {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, 2*per)
+	}
+}
+
+// SB-analogue (store buffering): with blocking in-order cores there is no
+// store buffer, so both threads cannot read 0 after both stores committed
+// round-robin through a synchronizing barrier. This is checked implicitly
+// by MP; here we check the weaker "writes eventually visible" property:
+// after the round barrier both observers agree on both locations.
+func TestLitmusBothWritesVisibleAfterBarrier(t *testing.T) {
+	violations := 0
+	litmus2(t, func(r int, x, y addr.Addr, c0, c1 func(func(c *cluster.Core))) {
+		c0(func(c *cluster.Core) {
+			st(c, x, 7)
+		})
+		c1(func(c *cluster.Core) {
+			st(c, y+4, 9)
+		})
+		// Next round's bodies observe the previous round's stores after the
+		// barrier between rounds.
+		c0(func(c *cluster.Core) {
+			if ld(c, y+4) != 9 {
+				violations++
+			}
+		})
+		c1(func(c *cluster.Core) {
+			if ld(c, x) != 7 {
+				violations++
+			}
+		})
+	})
+	if violations != 0 {
+		t.Fatalf("%d visibility violations after synchronization", violations)
+	}
+}

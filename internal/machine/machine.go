@@ -1,0 +1,367 @@
+// Package machine assembles the full simulated processor: clusters of
+// cores, the two-level interconnect, the L3/directory home banks, the
+// DRAM substrate, and — under Cohesion — the region tables. It owns the
+// event queue, runs simulations to quiescence, and provides the
+// end-of-run invariant checks the test suite leans on.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/cache"
+	"cohesion/internal/cluster"
+	"cohesion/internal/config"
+	"cohesion/internal/core"
+	"cohesion/internal/directory"
+	"cohesion/internal/dram"
+	"cohesion/internal/event"
+	"cohesion/internal/interconnect"
+	"cohesion/internal/msg"
+	"cohesion/internal/region"
+	"cohesion/internal/stats"
+)
+
+// Machine is one assembled processor plus its measurement state.
+type Machine struct {
+	Cfg      config.Machine
+	Q        *event.Queue
+	Run      *stats.Run
+	Store    *dram.Store
+	Mem      *dram.Controller
+	Net      *interconnect.Network
+	Homes    []*core.Home
+	Clusters []*cluster.Cluster
+	Coarse   *region.CoarseTable
+	Fine     *region.FineTable
+
+	activeCores int
+	started     int
+	lastDone    event.Cycle // cycle when the final core's program completed
+}
+
+// New builds a machine from a validated configuration.
+func New(cfg config.Machine) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Cfg:   cfg,
+		Q:     &event.Queue{},
+		Run:   &stats.Run{},
+		Store: dram.NewStore(),
+	}
+	m.Mem = dram.NewController(m.Q, m.Run, cfg.DRAMChannels, cfg.L3Banks, cfg.DRAMLatency, cfg.DRAMCyclesPerLine)
+	m.Net = interconnect.New(m.Q, cfg.Clusters, cfg.L3Banks, cfg.TreeLatency, cfg.XbarLatency)
+	if cfg.NetJitter > 0 {
+		m.Net.SetJitter(cfg.NetJitter, cfg.NetJitterSeed)
+	}
+
+	if cfg.Mode == config.Cohesion {
+		m.Fine = region.NewFineTable(m.Store, cfg.L3Banks)
+		if cfg.CoarseTable {
+			m.Coarse = &region.CoarseTable{}
+		}
+	}
+
+	for b := 0; b < cfg.L3Banks; b++ {
+		var dir directory.Directory
+		switch cfg.Directory {
+		case config.DirNone:
+		case config.DirInfinite:
+			dir = directory.NewInfinite()
+		case config.DirSparse:
+			dir = directory.NewSparse(cfg.DirEntriesPerBank, cfg.DirAssoc, false)
+		case config.DirLimited4B:
+			dir = directory.NewSparse(cfg.DirEntriesPerBank, cfg.DirAssoc, true)
+		}
+		bank := b
+		probe := func(cl int, p msg.Probe, onReply func(msg.ProbeReply)) {
+			m.deliverProbe(bank, cl, p, onReply)
+		}
+		m.Homes = append(m.Homes, core.NewHome(bank, cfg, m.Q, m.Run, m.Store, m.Mem, dir, m.Coarse, m.Fine, probe))
+	}
+
+	for c := 0; c < cfg.Clusters; c++ {
+		cl := cluster.New(c, cfg, m.Q, m.Run)
+		clusterID := c
+		cl.Wire(
+			func(req msg.Req, onResp func(msg.Resp)) { m.deliverReq(clusterID, req, onResp) },
+			func() {
+				m.activeCores--
+				if m.activeCores == 0 {
+					m.lastDone = m.Q.Now()
+				}
+			},
+		)
+		m.Clusters = append(m.Clusters, cl)
+	}
+	return m, nil
+}
+
+// deliverReq routes an L2 request to its line's home bank over the network
+// and routes the response back.
+func (m *Machine) deliverReq(clusterID int, req msg.Req, onResp func(msg.Resp)) {
+	bank := region.HomeBankOfLine(req.Line, m.Cfg.L3Banks)
+	h := m.Homes[bank]
+	m.Net.ToBank(clusterID, bank, req.Bytes(), func() {
+		var reply func(msg.Resp)
+		if onResp != nil {
+			reply = func(resp msg.Resp) {
+				m.Net.ToCluster(bank, clusterID, resp.Bytes(), func() { onResp(resp) })
+			}
+		}
+		h.HandleReq(req, reply)
+	})
+}
+
+// deliverProbe routes a directory probe to a cluster and its (counted)
+// reply back to the home bank.
+func (m *Machine) deliverProbe(bank, clusterID int, p msg.Probe, onReply func(msg.ProbeReply)) {
+	cl := m.Clusters[clusterID]
+	m.Net.ToCluster(bank, clusterID, msg.CtrlBytes, func() {
+		cl.HandleProbe(p, func(rep msg.ProbeReply) {
+			m.Run.CountMessage(msg.ProbeResp)
+			m.Net.ToBank(clusterID, bank, rep.Bytes(), func() { onReply(rep) })
+		})
+	})
+}
+
+// AddCoarseRegion registers a permanently software-coherent range in the
+// on-die coarse-grain table (no-op outside Cohesion or when the coarse
+// table is disabled).
+func (m *Machine) AddCoarseRegion(r addr.Range) error {
+	if m.Coarse == nil {
+		return nil
+	}
+	return m.Coarse.Add(r)
+}
+
+// PresetSWcc marks a range's fine-grain table bits software-coherent
+// before simulation starts (the runtime's load-time table initialization,
+// paper §3.5 — performed by the bootstrap core before timing begins).
+func (m *Machine) PresetSWcc(r addr.Range) {
+	if m.Fine == nil {
+		return
+	}
+	m.Fine.SetRange(r)
+}
+
+// StartProgram launches a workload program on a global core index.
+func (m *Machine) StartProgram(coreID int, program func(*cluster.Core)) {
+	cl := m.Clusters[coreID/m.Cfg.CoresPerCluster]
+	m.activeCores++
+	m.started++
+	cl.StartCore(coreID%m.Cfg.CoresPerCluster, program)
+}
+
+// ErrCycleLimit reports a simulation that exceeded its cycle budget.
+var ErrCycleLimit = errors.New("machine: cycle limit exceeded")
+
+// Simulate runs the event loop until every started program completes and
+// all in-flight traffic drains, periodically sampling directory occupancy.
+// maxCycles guards against livelock (0 means a generous default).
+func (m *Machine) Simulate(maxCycles uint64) error {
+	if maxCycles == 0 {
+		maxCycles = 2_000_000_000
+	}
+	if m.hasDirectory() {
+		m.scheduleSample()
+	}
+	for m.Q.Step() {
+		if uint64(m.Q.Now()) > maxCycles {
+			return fmt.Errorf("%w at cycle %d (%d cores still active)", ErrCycleLimit, m.Q.Now(), m.activeCores)
+		}
+	}
+	if m.activeCores != 0 {
+		return fmt.Errorf("machine: queue drained with %d cores still active (deadlock)", m.activeCores)
+	}
+	for _, h := range m.Homes {
+		if h.Pending() {
+			return errors.New("machine: home bank has pending transactions after drain")
+		}
+	}
+	for _, cl := range m.Clusters {
+		if cl.Pending() {
+			return errors.New("machine: cluster has pending transactions after drain")
+		}
+	}
+	// Report the cycle the last program completed; straggler events (the
+	// occupancy sampler, in-flight writebacks) do not extend "run time".
+	m.Run.Cycles = uint64(m.lastDone)
+	m.Run.NetMessages = m.Net.MessagesUp + m.Net.MessagesDown
+	m.Run.NetBytes = m.Net.BytesUp + m.Net.BytesDown
+	return nil
+}
+
+// EnableTrace retains the last capacity protocol events (home-side request
+// service, probes, transitions; L2-side installs and probe handling) for
+// post-mortem inspection via Run.Trace.
+func (m *Machine) EnableTrace(capacity int) {
+	m.Run.Trace = stats.NewTraceLog(capacity)
+}
+
+func (m *Machine) hasDirectory() bool { return m.Cfg.Directory != config.DirNone }
+
+// scheduleSample samples aggregate directory occupancy every SamplePeriod
+// cycles while programs are running (Fig 9c's time-averaged counts).
+func (m *Machine) scheduleSample() {
+	m.Q.After(stats.SamplePeriod, func() {
+		if m.activeCores == 0 {
+			return
+		}
+		var byClass [addr.NumClasses]uint64
+		for _, h := range m.Homes {
+			if d := h.Directory(); d != nil {
+				c := d.CountByClass()
+				for i := range byClass {
+					byClass[i] += c[i]
+				}
+			}
+		}
+		m.Run.Occupancy.Sample(byClass)
+		var total uint64
+		for _, n := range byClass {
+			total += n
+		}
+		if len(m.Run.Timeline) < 1<<16 {
+			m.Run.Timeline = append(m.Run.Timeline, stats.TimelineSample{
+				Cycle:      uint64(m.Q.Now()),
+				Messages:   m.Run.TotalMessages(),
+				Probes:     m.Run.ProbesSent,
+				DirEntries: total,
+			})
+		}
+		m.scheduleSample()
+	})
+}
+
+// DrainToMemory force-writes every dirty L2 word to the backing store so
+// host-side verification observes final values. It models the exit flush
+// a real runtime performs and must only be called after Simulate.
+func (m *Machine) DrainToMemory() {
+	for _, cl := range m.Clusters {
+		cl.DrainDirty(func(line addr.Line, mask uint8, data [addr.WordsPerLine]uint32) {
+			m.Store.MergeLine(line, mask, data)
+		})
+	}
+}
+
+// CheckInvariants validates protocol state at quiescence:
+//
+//   - every Modified directory entry has exactly its owner holding the
+//     line in Modified state;
+//   - every sharer recorded in a (non-broadcast) Shared entry that still
+//     holds the line holds it coherently;
+//   - every hardware-coherent line in an L2 is covered by a directory
+//     entry naming that cluster (directory inclusivity);
+//   - Modified L2 lines match their directory entry's owner;
+//   - no L2 line is simultaneously coherent and incoherent with its
+//     domain: under Cohesion an incoherent line's region-table state must
+//     say SWcc, a coherent line's must say HWcc.
+func (m *Machine) CheckInvariants() error {
+	if !m.hasDirectory() {
+		return nil
+	}
+	holds := func(clusterID int, line addr.Line) *cache.Entry {
+		return m.Clusters[clusterID].L2().Peek(line)
+	}
+	for b, h := range m.Homes {
+		d := h.Directory()
+		var err error
+		d.ForEach(func(e *directory.Entry) {
+			if err != nil {
+				return
+			}
+			if e.Pinned {
+				err = fmt.Errorf("bank %d line %#x: pinned entry at quiescence", b, uint64(e.Line))
+				return
+			}
+			if e.State == directory.Modified {
+				le := holds(e.Owner, e.Line)
+				if le == nil {
+					err = fmt.Errorf("bank %d line %#x: M entry but owner %d does not hold it", b, uint64(e.Line), e.Owner)
+					return
+				}
+				if le.Incoherent || le.State != cache.StateModified {
+					err = fmt.Errorf("bank %d line %#x: owner %d holds line in wrong state", b, uint64(e.Line), e.Owner)
+				}
+				return
+			}
+			if e.Broadcast {
+				return // sharer set is conservative by design
+			}
+			e.Sharers.ForEach(func(c int) {
+				if err != nil {
+					return
+				}
+				if le := holds(c, e.Line); le != nil && le.Incoherent {
+					err = fmt.Errorf("bank %d line %#x: sharer %d holds line incoherently", b, uint64(e.Line), c)
+				}
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Reverse direction: L2 contents covered by the directory.
+	for cid, cl := range m.Clusters {
+		var err error
+		cl.L2().ForEach(func(le *cache.Entry) {
+			if err != nil {
+				return
+			}
+			line := le.Line
+			bank := region.HomeBankOfLine(line, m.Cfg.L3Banks)
+			d := m.Homes[bank].Directory()
+			if le.Incoherent {
+				if d.Lookup(line) != nil {
+					err = fmt.Errorf("cluster %d line %#x: incoherent line has a directory entry", cid, uint64(line))
+					return
+				}
+				if m.Cfg.Mode == config.Cohesion && !m.isSWccDomain(line) {
+					err = fmt.Errorf("cluster %d line %#x: incoherent line in HWcc domain", cid, uint64(line))
+				}
+				return
+			}
+			e := d.Lookup(line)
+			if e == nil {
+				err = fmt.Errorf("cluster %d line %#x: coherent line with no directory entry", cid, uint64(line))
+				return
+			}
+			if le.State == cache.StateModified {
+				if e.State != directory.Modified || e.Owner != cid {
+					err = fmt.Errorf("cluster %d line %#x: L2 Modified but directory disagrees", cid, uint64(line))
+				}
+				return
+			}
+			if !e.Broadcast && !e.Sharers.Has(cid) {
+				err = fmt.Errorf("cluster %d line %#x: sharer missing from directory entry", cid, uint64(line))
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) isSWccDomain(line addr.Line) bool {
+	base := line.Base()
+	if m.Coarse != nil && m.Coarse.Contains(base) {
+		return true
+	}
+	return m.Fine != nil && m.Fine.IsSWcc(base)
+}
+
+// DirectoryEntries reports the current total allocated entries (for tests).
+func (m *Machine) DirectoryEntries() int {
+	n := 0
+	for _, h := range m.Homes {
+		if d := h.Directory(); d != nil {
+			n += d.Count()
+		}
+	}
+	return n
+}

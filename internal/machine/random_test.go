@@ -1,0 +1,291 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/cluster"
+	"cohesion/internal/config"
+	"cohesion/internal/region"
+)
+
+// TestRandomHWccMonotonicReads is a randomized coherence checker: each
+// word has a single writer core that stores strictly increasing version
+// numbers; every reader's observation sequence per word must then be
+// nondecreasing (per-location sequential consistency, which MSI + a
+// serializing directory must provide). Stale regressions — reading an
+// older version after a newer one — are coherence violations.
+func TestRandomHWccMonotonicReads(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		m := newMachine(t, hwccCfg(4))
+		const (
+			words   = 32
+			workers = 8
+			opsEach = 300
+		)
+		base := addr.Addr(addr.HeapBase)
+		wordAddr := func(w int) addr.Addr { return base + addr.Addr(4*w) }
+
+		type obs struct {
+			word int
+			val  uint32
+		}
+		observed := make([][]obs, workers)
+		versions := make([]uint32, words)
+
+		for wk := 0; wk < workers; wk++ {
+			wk := wk
+			// Spread across all four clusters.
+			program(m, wk*4, func(c *cluster.Core) {
+				rng := rand.New(rand.NewSource(seed*100 + int64(wk)))
+				for i := 0; i < opsEach; i++ {
+					w := rng.Intn(words)
+					if w%workers == wk && rng.Intn(2) == 0 {
+						// This worker owns the word: write the next version.
+						versions[w]++ // host-side bookkeeping is safe: single writer
+						st(c, wordAddr(w), uint32(wk)<<24|versions[w])
+					} else {
+						v := ld(c, wordAddr(w))
+						observed[wk] = append(observed[wk], obs{w, v})
+					}
+				}
+			})
+		}
+		simulate(t, m)
+
+		for wk, seq := range observed {
+			last := map[int]uint32{}
+			for i, o := range seq {
+				if o.val == 0 {
+					continue // never written yet
+				}
+				owner := int(o.val >> 24)
+				if owner != o.word%workers {
+					t.Fatalf("seed %d: worker %d read word %d with wrong owner tag %d", seed, wk, o.word, owner)
+				}
+				ver := o.val & 0xffffff
+				if prev, ok := last[o.word]; ok && ver < prev {
+					t.Fatalf("seed %d: worker %d observation %d: word %d regressed from version %d to %d",
+						seed, wk, i, o.word, prev, ver)
+				}
+				last[o.word] = ver
+			}
+		}
+	}
+}
+
+// TestRandomTransitionRoundsPreserveValues stress-tests the transition
+// protocol: a producer writes random values into a block under SWcc and
+// flushes; a consumer migrates the block to HWcc, reads and checks every
+// word, then migrates it back; repeat with fresh random data. Any lost or
+// stale word is a transition-protocol bug.
+func TestRandomTransitionRoundsPreserveValues(t *testing.T) {
+	m := newMachine(t, cohesionCfg(2))
+	const (
+		blockWords = 24
+		rounds     = 12
+	)
+	block := addr.Addr(addr.CohHeapBase)
+	m.PresetSWcc(addr.Range{Base: block, Size: blockWords * 4})
+	banks := m.Cfg.L3Banks
+	rng := rand.New(rand.NewSource(99))
+	expected := make([][]uint32, rounds)
+	for r := range expected {
+		expected[r] = make([]uint32, blockWords)
+		for w := range expected[r] {
+			expected[r][w] = rng.Uint32() | 1 // nonzero
+		}
+	}
+	mismatches := 0
+
+	transitionRange := func(c *cluster.Core, toSW bool) {
+		for w := 0; w < blockWords; w += 8 { // one call per line
+			transition(c, block+addr.Addr(4*w), banks, toSW)
+		}
+	}
+
+	program(m, 0, func(c *cluster.Core) { // producer
+		for r := 0; r < rounds; r++ {
+			spinUntil(c, syncWord, uint32(2*r)) // wait for "block is SWcc"
+			for w := 0; w < blockWords; w++ {
+				st(c, block+addr.Addr(4*w), expected[r][w])
+			}
+			// Half the rounds flush eagerly; the other half leave the lines
+			// dirty so the capture protocol has to collect them.
+			if r%2 == 0 {
+				for w := 0; w < blockWords; w += 8 {
+					flush(c, block+addr.Addr(4*w))
+				}
+			}
+			uncStore(c, syncWord, uint32(2*r+1))
+		}
+	})
+	program(m, 8, func(c *cluster.Core) { // consumer/migrator
+		for r := 0; r < rounds; r++ {
+			spinUntil(c, syncWord, uint32(2*r+1))
+			transitionRange(c, false) // SW -> HW: capture
+			for w := 0; w < blockWords; w++ {
+				if got := ld(c, block+addr.Addr(4*w)); got != expected[r][w] {
+					mismatches++
+				}
+			}
+			// Drop our coherent copies cleanly, then hand the block back.
+			for w := 0; w < blockWords; w += 8 {
+				inv(c, block+addr.Addr(4*w))
+			}
+			transitionRange(c, true) // HW -> SW
+			uncStore(c, syncWord, uint32(2*r+2))
+		}
+	})
+	simulate(t, m)
+	if mismatches != 0 {
+		t.Fatalf("%d stale/lost words across %d transition rounds", mismatches, rounds)
+	}
+	wantTrans := uint64(rounds * (blockWords / 8))
+	if m.Run.TransitionsToHW != wantTrans || m.Run.TransitionsToSW != wantTrans {
+		t.Fatalf("transitions = %d/%d, want %d each", m.Run.TransitionsToHW, m.Run.TransitionsToSW, wantTrans)
+	}
+}
+
+// TestSWccStalenessIsReal is the negative control: without an invalidate,
+// a consumer that cached a line under SWcc keeps reading the stale value
+// even after the producer flushed a new one. If this test fails, the
+// simulator is secretly coherent and every SWcc measurement is wrong.
+func TestSWccStalenessIsReal(t *testing.T) {
+	m := newMachine(t, swccCfg(2))
+	a := addr.Addr(addr.HeapBase)
+	m.Store.WriteWord(a, 1)
+	var stale uint32
+	program(m, 0, func(c *cluster.Core) {
+		_ = ld(c, a) // cache the old value
+		uncStore(c, syncWord, 1)
+		spinUntil(c, syncWord, 2)
+		stale = ld(c, a) // no INV: must still see the old value
+	})
+	program(m, 8, func(c *cluster.Core) {
+		spinUntil(c, syncWord, 1) // the reader has cached the line
+		st(c, a, 2)
+		flush(c, a)
+		uncStore(c, syncWord, 2)
+	})
+	simulate(t, m)
+	if stale != 1 {
+		t.Fatalf("read %d; SWcc should have served the stale cached value 1", stale)
+	}
+}
+
+// TestSWccUnflushedWriteInvisible: without a flush, another cluster's
+// fresh fetch sees the old memory value (the producer's write sits in its
+// local L2 only).
+func TestSWccUnflushedWriteInvisible(t *testing.T) {
+	m := newMachine(t, swccCfg(2))
+	a := addr.Addr(addr.HeapBase)
+	m.Store.WriteWord(a, 5)
+	var got uint32
+	program(m, 0, func(c *cluster.Core) {
+		st(c, a, 6) // never flushed
+		uncStore(c, syncWord, 1)
+	})
+	program(m, 8, func(c *cluster.Core) {
+		spinUntil(c, syncWord, 1)
+		got = ld(c, a)
+	})
+	simulate(t, m)
+	if got != 5 {
+		t.Fatalf("read %d; unflushed SWcc write must be invisible (want 5)", got)
+	}
+}
+
+// TestCohesionHWccDomainNeverStale: the same producer/consumer pattern on
+// the coherent heap under Cohesion must always see the latest value — the
+// positive control for the two tests above.
+func TestCohesionHWccDomainNeverStale(t *testing.T) {
+	m := newMachine(t, cohesionCfg(2))
+	a := addr.Addr(addr.HeapBase)
+	m.Store.WriteWord(a, 5)
+	var got uint32
+	program(m, 0, func(c *cluster.Core) {
+		_ = ld(c, a)
+		uncStore(c, syncWord, 1)
+		spinUntil(c, syncWord, 2)
+		got = ld(c, a) // directory invalidated our copy; must see 6
+	})
+	program(m, 8, func(c *cluster.Core) {
+		spinUntil(c, syncWord, 1) // the reader has cached the line
+		st(c, a, 6)
+		uncStore(c, syncWord, 2)
+	})
+	simulate(t, m)
+	if got != 6 {
+		t.Fatalf("read %d under HWcc domain, want 6", got)
+	}
+}
+
+// TestRandomDirectoryPressureCorrectness runs a random multi-writer
+// workload on a pathologically small sparse directory and checks that the
+// single-writer-per-word values all land correctly despite constant
+// directory evictions.
+func TestRandomDirectoryPressureCorrectness(t *testing.T) {
+	cfg := config.Scaled(2).WithMode(config.HWcc).WithDirectory(config.DirSparse, 8, 0)
+	m := newMachine(t, cfg)
+	const words = 256
+	base := addr.Addr(addr.HeapBase)
+	final := make([]uint32, words)
+	for wk := 0; wk < 4; wk++ {
+		wk := wk
+		program(m, wk*4, func(c *cluster.Core) {
+			rng := rand.New(rand.NewSource(int64(wk)))
+			for i := 0; i < 400; i++ {
+				w := rng.Intn(words/4)*4 + wk // own every 4th word
+				v := rng.Uint32()
+				st(c, base+addr.Addr(4*w), v)
+				final[w] = v
+			}
+		})
+	}
+	simulate(t, m)
+	m.DrainToMemory()
+	for w := 0; w < words; w++ {
+		if got := m.Store.ReadWord(base + addr.Addr(4*w)); got != final[w] {
+			t.Fatalf("word %d = %#x, want %#x (directory pressure corrupted data)", w, got, final[w])
+		}
+	}
+	if m.Run.DirEvictions == 0 {
+		t.Fatal("test did not actually pressure the directory")
+	}
+}
+
+// TestTransitionWhileOtherClusterReads exercises the queueing of regular
+// requests behind an in-flight transition: a reader hammers a line while
+// another core toggles its domain repeatedly; every read must return the
+// (never-changing) value.
+func TestTransitionWhileOtherClusterReads(t *testing.T) {
+	m := newMachine(t, cohesionCfg(2))
+	a := addr.Addr(addr.CohHeapBase)
+	m.PresetSWcc(addr.Range{Base: a, Size: 32})
+	m.Store.WriteWord(a, 77)
+	banks := m.Cfg.L3Banks
+	bad := 0
+	program(m, 0, func(c *cluster.Core) { // toggler
+		for i := 0; i < 20; i++ {
+			transition(c, a, banks, i%2 == 0) // toHW, toSW, ...
+		}
+		uncStore(c, syncWord, 1)
+	})
+	program(m, 8, func(c *cluster.Core) { // reader
+		for uncLoad(c, syncWord) != 1 {
+			inv(c, a) // drop any copy so each read refetches
+			if ld(c, a) != 77 {
+				bad++
+			}
+		}
+	})
+	simulate(t, m)
+	if bad != 0 {
+		t.Fatalf("%d reads returned wrong values during transitions", bad)
+	}
+}
+
+var _ = region.TblWordAddr // keep region import if transition helper moves

@@ -1,0 +1,86 @@
+// Package msg defines the message taxonomy used throughout the memory
+// system. The eight Kind values are exactly the legend of the paper's
+// Figures 2 and 8: the classes of messages an L2 cache sends toward the
+// global L3/directory. Probe traffic flowing the other way (directory to
+// L2) is tracked separately because the figures count only L2 output.
+package msg
+
+import "fmt"
+
+// Kind classifies an L2-output message for accounting (Figs 2 and 8).
+type Kind uint8
+
+const (
+	// ReadReq is a coherent or incoherent data read request (load miss).
+	ReadReq Kind = iota
+	// WriteReq is a coherent write request/upgrade sent to the directory.
+	WriteReq
+	// InstrReq is an instruction fetch miss forwarded to the L3.
+	InstrReq
+	// Atomic covers uncached loads/stores and atomic read-modify-write
+	// operations performed at the L3 ("Uncached/Atomic Operations").
+	Atomic
+	// Eviction is a dirty-line writeback caused by a cache replacement
+	// ("Cache Evictions").
+	Eviction
+	// SWFlush is a dirty-word writeback caused by an explicit software
+	// flush instruction ("Software Flushes").
+	SWFlush
+	// ReadRel is a read release: notification that a clean line was evicted
+	// under HWcc ("Read Releases").
+	ReadRel
+	// ProbeResp is any L2 response to a directory probe: invalidation acks,
+	// writeback data, and clean-capture acks ("Probe Responses").
+	ProbeResp
+
+	numKinds
+)
+
+// NumKinds is the number of L2-output message classes.
+const NumKinds = int(numKinds)
+
+// Kinds lists all classes in the order the paper's figure legends use
+// (bottom of the stacked bar first).
+func Kinds() []Kind {
+	return []Kind{ReadReq, WriteReq, InstrReq, Atomic, Eviction, SWFlush, ReadRel, ProbeResp}
+}
+
+func (k Kind) String() string {
+	switch k {
+	case ReadReq:
+		return "Read Requests"
+	case WriteReq:
+		return "Write Requests"
+	case InstrReq:
+		return "Instruction Requests"
+	case Atomic:
+		return "Uncached/Atomic Operations"
+	case Eviction:
+		return "Cache Evictions"
+	case SWFlush:
+		return "Software Flushes"
+	case ReadRel:
+		return "Read Releases"
+	case ProbeResp:
+		return "Probe Responses"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Control and data message sizes in bytes, used by the interconnect's
+// occupancy model. A data message carries a 32-byte line plus header.
+const (
+	CtrlBytes = 8
+	DataBytes = 40
+)
+
+// Size returns the nominal size in bytes of a message of kind k, assuming
+// data-bearing kinds carry a full line.
+func (k Kind) Size() int {
+	switch k {
+	case Eviction, SWFlush:
+		return DataBytes
+	default:
+		return CtrlBytes
+	}
+}

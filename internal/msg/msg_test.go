@@ -1,0 +1,47 @@
+package msg
+
+import "testing"
+
+func TestKindsCoversAllOnce(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != NumKinds {
+		t.Fatalf("Kinds() has %d entries, want %d", len(ks), NumKinds)
+	}
+	seen := map[Kind]bool{}
+	for _, k := range ks {
+		if seen[k] {
+			t.Fatalf("kind %v listed twice", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has bad/duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Errorf("unknown kind String = %q", Kind(200).String())
+	}
+}
+
+func TestSizes(t *testing.T) {
+	for _, k := range Kinds() {
+		sz := k.Size()
+		switch k {
+		case Eviction, SWFlush:
+			if sz != DataBytes {
+				t.Errorf("%v size = %d, want %d", k, sz, DataBytes)
+			}
+		default:
+			if sz != CtrlBytes {
+				t.Errorf("%v size = %d, want %d", k, sz, CtrlBytes)
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package msg
+
+import (
+	"fmt"
+
+	"cohesion/internal/addr"
+)
+
+// ReqKind enumerates the request messages an L2 sends to a line's home
+// L3/directory bank.
+type ReqKind uint8
+
+const (
+	// ReqRead asks for a readable copy of a line (load/ifetch miss).
+	ReqRead ReqKind = iota
+	// ReqWrite asks for a writable copy or an upgrade (store miss/hit-S).
+	ReqWrite
+	// ReqInstr is a read for an instruction line (separately accounted).
+	ReqInstr
+	// ReqAtomic is an uncached atomic read-modify-write performed at the L3.
+	ReqAtomic
+	// ReqUncLoad and ReqUncStore are uncached word accesses at the L3.
+	ReqUncLoad
+	// ReqUncStore is an uncached word store performed at the L3.
+	ReqUncStore
+	// ReqEvict writes back the dirty words of an evicted line.
+	ReqEvict
+	// ReqReadRel releases a clean line on eviction (HWcc read release).
+	ReqReadRel
+	// ReqSWFlush writes back dirty words in response to a software flush.
+	ReqSWFlush
+)
+
+func (k ReqKind) String() string {
+	switch k {
+	case ReqRead:
+		return "RdReq"
+	case ReqWrite:
+		return "WrReq"
+	case ReqInstr:
+		return "InstrReq"
+	case ReqAtomic:
+		return "Atomic"
+	case ReqUncLoad:
+		return "UncLoad"
+	case ReqUncStore:
+		return "UncStore"
+	case ReqEvict:
+		return "Evict"
+	case ReqReadRel:
+		return "RdRel"
+	case ReqSWFlush:
+		return "SWFlush"
+	}
+	return fmt.Sprintf("ReqKind(%d)", uint8(k))
+}
+
+// Class maps a request kind to its Figure-2/8 accounting class.
+func (k ReqKind) Class() Kind {
+	switch k {
+	case ReqRead:
+		return ReadReq
+	case ReqWrite:
+		return WriteReq
+	case ReqInstr:
+		return InstrReq
+	case ReqAtomic, ReqUncLoad, ReqUncStore:
+		return Atomic
+	case ReqEvict:
+		return Eviction
+	case ReqReadRel:
+		return ReadRel
+	case ReqSWFlush:
+		return SWFlush
+	}
+	panic("msg: unclassifiable request kind")
+}
+
+// HasData reports whether the request carries line data (affects network
+// occupancy).
+func (k ReqKind) HasData() bool { return k == ReqEvict || k == ReqSWFlush }
+
+// AtomicOp is the operation of a ReqAtomic request, performed on a single
+// word at the L3 (the paper's atom.* instructions).
+type AtomicOp uint8
+
+const (
+	AtomicAdd AtomicOp = iota
+	AtomicOr
+	AtomicAnd
+	AtomicXchg
+	AtomicCAS // Operand = compare, Operand2 = swap
+	AtomicMin
+	AtomicMax
+)
+
+// Apply computes the new word value from the old one. For AtomicCAS the
+// word is replaced only when it equals Operand.
+func (op AtomicOp) Apply(old, operand, operand2 uint32) uint32 {
+	switch op {
+	case AtomicAdd:
+		return old + operand
+	case AtomicOr:
+		return old | operand
+	case AtomicAnd:
+		return old & operand
+	case AtomicXchg:
+		return operand
+	case AtomicCAS:
+		if old == operand {
+			return operand2
+		}
+		return old
+	case AtomicMin:
+		if operand < old {
+			return operand
+		}
+		return old
+	case AtomicMax:
+		if operand > old {
+			return operand
+		}
+		return old
+	}
+	panic("msg: unknown atomic op")
+}
+
+// Req is a request message from an L2 (cluster) to a home bank.
+type Req struct {
+	Kind    ReqKind
+	Cluster int
+	Line    addr.Line
+	Addr    addr.Addr // word address for atomic/uncached ops
+	Mask    uint8     // dirty-word mask for Evict/SWFlush
+	Data    [addr.WordsPerLine]uint32
+
+	Op       AtomicOp
+	Operand  uint32
+	Operand2 uint32
+}
+
+// Bytes returns the network size of the request.
+func (r Req) Bytes() int {
+	if r.Kind.HasData() {
+		return DataBytes
+	}
+	return CtrlBytes
+}
+
+// Grant describes the coherence permission a response confers.
+type Grant uint8
+
+const (
+	// GrantShared: line is HWcc, readable (MSI Shared).
+	GrantShared Grant = iota
+	// GrantModified: line is HWcc, writable (MSI Modified).
+	GrantModified
+	// GrantIncoherent: line is in the SWcc domain; the L2 sets the
+	// incoherent bit and manages the line in software.
+	GrantIncoherent
+	// GrantNone: the response carries no line permission (acks, atomics).
+	GrantNone
+)
+
+func (g Grant) String() string {
+	switch g {
+	case GrantShared:
+		return "S"
+	case GrantModified:
+		return "M"
+	case GrantIncoherent:
+		return "inc"
+	case GrantNone:
+		return "-"
+	}
+	return fmt.Sprintf("Grant(%d)", uint8(g))
+}
+
+// Resp is the home bank's response to a Req.
+type Resp struct {
+	Grant   Grant
+	HasData bool
+	Data    [addr.WordsPerLine]uint32
+	Value   uint32 // atomic/uncached-load result
+
+	// RaceException is set on a region-table write's acknowledgement when
+	// a SW-to-HW transition detected the Figure 7 Case 5b software race
+	// and the machine is configured to trap on it.
+	RaceException bool
+}
+
+// Bytes returns the network size of the response.
+func (r Resp) Bytes() int {
+	if r.HasData {
+		return DataBytes
+	}
+	return CtrlBytes
+}
+
+// ProbeKind enumerates directory-to-L2 probes.
+type ProbeKind uint8
+
+const (
+	// ProbeInv: invalidate the line and ack.
+	ProbeInv ProbeKind = iota
+	// ProbeWB: write back dirty words (if any), invalidate, and ack.
+	ProbeWB
+	// ProbeCapture: SW-to-HW transition broadcast. If the line is present
+	// and clean, clear the incoherent bit (the line becomes a hardware-
+	// coherent sharer, still cached) and report clean; if dirty, report the
+	// dirty mask without writing back; if absent, report not-present.
+	ProbeCapture
+	// ProbeUpgradeOwner: second phase of a single-dirty-writer capture —
+	// the L2 keeps the line, clears the incoherent bit, and becomes the
+	// MSI owner without a writeback (paper §3.6, "the sharer is upgraded
+	// to owner at the directory and no writeback occurs").
+	ProbeUpgradeOwner
+)
+
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeInv:
+		return "ProbeInv"
+	case ProbeWB:
+		return "ProbeWB"
+	case ProbeCapture:
+		return "ProbeCapture"
+	case ProbeUpgradeOwner:
+		return "ProbeUpgradeOwner"
+	}
+	return fmt.Sprintf("ProbeKind(%d)", uint8(k))
+}
+
+// Probe is a directory-to-L2 coherence probe.
+type Probe struct {
+	Kind ProbeKind
+	Line addr.Line
+}
+
+// ReplyKind enumerates L2 responses to probes.
+type ReplyKind uint8
+
+const (
+	// ReplyAck: the probe was applied; no data follows (line was absent or
+	// clean, as appropriate for the probe).
+	ReplyAck ReplyKind = iota
+	// ReplyData: the probe captured dirty words, carried in Data/Mask.
+	ReplyData
+	// ReplyNotPresent: capture probe found the line absent.
+	ReplyNotPresent
+	// ReplyClean: capture probe found the line present and clean; the L2
+	// is now a hardware sharer.
+	ReplyClean
+	// ReplyDirty: capture probe found dirty words; the L2 reports the mask
+	// and awaits the directory's second phase.
+	ReplyDirty
+)
+
+func (k ReplyKind) String() string {
+	switch k {
+	case ReplyAck:
+		return "Ack"
+	case ReplyData:
+		return "AckData"
+	case ReplyNotPresent:
+		return "NotPresent"
+	case ReplyClean:
+		return "Clean"
+	case ReplyDirty:
+		return "Dirty"
+	}
+	return fmt.Sprintf("ReplyKind(%d)", uint8(k))
+}
+
+// ProbeReply is an L2's answer to a probe. Probe replies are counted in
+// the ProbeResp class of Figures 2 and 8.
+type ProbeReply struct {
+	Kind    ReplyKind
+	Cluster int
+	Line    addr.Line
+	Mask    uint8
+	Data    [addr.WordsPerLine]uint32
+}
+
+// Bytes returns the network size of the reply.
+func (r ProbeReply) Bytes() int {
+	if r.Kind == ReplyData {
+		return DataBytes
+	}
+	return CtrlBytes
+}

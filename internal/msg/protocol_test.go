@@ -1,0 +1,75 @@
+package msg
+
+import "testing"
+
+func TestReqKindClassTotal(t *testing.T) {
+	want := map[ReqKind]Kind{
+		ReqRead: ReadReq, ReqWrite: WriteReq, ReqInstr: InstrReq,
+		ReqAtomic: Atomic, ReqUncLoad: Atomic, ReqUncStore: Atomic,
+		ReqEvict: Eviction, ReqReadRel: ReadRel, ReqSWFlush: SWFlush,
+	}
+	for k, w := range want {
+		if k.Class() != w {
+			t.Errorf("%v.Class() = %v, want %v", k, k.Class(), w)
+		}
+		if k.String() == "" {
+			t.Errorf("%v has empty name", uint8(k))
+		}
+	}
+}
+
+func TestHasDataAndBytes(t *testing.T) {
+	if !ReqEvict.HasData() || !ReqSWFlush.HasData() || ReqRead.HasData() {
+		t.Fatal("HasData wrong")
+	}
+	if (Req{Kind: ReqEvict}).Bytes() != DataBytes || (Req{Kind: ReqRead}).Bytes() != CtrlBytes {
+		t.Fatal("Req.Bytes wrong")
+	}
+	if (Resp{HasData: true}).Bytes() != DataBytes || (Resp{}).Bytes() != CtrlBytes {
+		t.Fatal("Resp.Bytes wrong")
+	}
+	if (ProbeReply{Kind: ReplyData}).Bytes() != DataBytes || (ProbeReply{Kind: ReplyAck}).Bytes() != CtrlBytes {
+		t.Fatal("ProbeReply.Bytes wrong")
+	}
+}
+
+func TestAtomicOps(t *testing.T) {
+	cases := []struct {
+		op             AtomicOp
+		old, a, b, new uint32
+	}{
+		{AtomicAdd, 10, 5, 0, 15},
+		{AtomicAdd, ^uint32(0), 1, 0, 0}, // wraps
+		{AtomicOr, 0b1010, 0b0101, 0, 0b1111},
+		{AtomicAnd, 0b1110, 0b0111, 0, 0b0110},
+		{AtomicXchg, 99, 7, 0, 7},
+		{AtomicCAS, 5, 5, 8, 8}, // matches: swapped
+		{AtomicCAS, 5, 6, 8, 5}, // no match: unchanged
+		{AtomicMin, 10, 3, 0, 3},
+		{AtomicMin, 3, 10, 0, 3},
+		{AtomicMax, 3, 10, 0, 10},
+		{AtomicMax, 10, 3, 0, 10},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.old, c.a, c.b); got != c.new {
+			t.Errorf("op %d Apply(%d,%d,%d) = %d, want %d", c.op, c.old, c.a, c.b, got, c.new)
+		}
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	for _, s := range []fmt_Stringer{
+		GrantShared, GrantModified, GrantIncoherent, GrantNone,
+		ProbeInv, ProbeWB, ProbeCapture, ProbeUpgradeOwner,
+		ReplyAck, ReplyData, ReplyNotPresent, ReplyClean, ReplyDirty,
+	} {
+		if s.String() == "" {
+			t.Errorf("%T has empty String()", s)
+		}
+	}
+	if Grant(9).String() == "" || ProbeKind(9).String() == "" || ReplyKind(9).String() == "" || ReqKind(99).String() == "" {
+		t.Error("unknown-value strings empty")
+	}
+}
+
+type fmt_Stringer interface{ String() string }

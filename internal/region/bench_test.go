@@ -1,0 +1,40 @@
+package region
+
+import (
+	"testing"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/dram"
+)
+
+// The tbloff hash runs on every Cohesion directory miss; its host cost
+// matters for simulation throughput.
+
+func BenchmarkTblWordAddr(b *testing.B) {
+	b.ReportAllocs()
+	var sink addr.Addr
+	for i := 0; i < b.N; i++ {
+		sink = TblWordAddr(addr.Addr(i)<<5, 32)
+	}
+	_ = sink
+}
+
+func BenchmarkInvTblAddr(b *testing.B) {
+	wa := TblWordAddr(addr.CohHeapBase, 32)
+	b.ReportAllocs()
+	var sink addr.Line
+	for i := 0; i < b.N; i++ {
+		sink = InvTblAddr(wa, uint(i&31), 32)
+	}
+	_ = sink
+}
+
+func BenchmarkFineTableIsSWcc(b *testing.B) {
+	ft := NewFineTable(dram.NewStore(), 32)
+	ft.SetRange(addr.Range{Base: addr.CohHeapBase, Size: 1 << 20})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.IsSWcc(addr.CohHeapBase + addr.Addr((i<<5)&0xfffff))
+	}
+}

@@ -1,0 +1,35 @@
+package region
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cohesion/internal/addr"
+)
+
+// Property: InvTblAddr is the exact inverse of (TblWordAddr, TblBitIndex)
+// for every bank count used by the simulator.
+func TestQuickInverseRoundTrip(t *testing.T) {
+	f := func(raw uint32, banksel uint8) bool {
+		banks := 1 << (banksel % 6) // 1..32
+		a := addr.LineAlign(addr.Addr(raw))
+		wa := TblWordAddr(a, banks)
+		bit := TblBitIndex(a)
+		return InvTblAddr(wa, bit, banks) == addr.LineOf(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseKnownValues(t *testing.T) {
+	for _, banks := range []int{1, 8, 32} {
+		for _, a := range []addr.Addr{0, 0x20, addr.CohHeapBase, addr.StackBase + 0x40, 0x7fff_ffe0} {
+			wa, bit := TblWordAddr(a, banks), TblBitIndex(a)
+			if got := InvTblAddr(wa, bit, banks); got != addr.LineOf(a) {
+				t.Fatalf("banks=%d a=%#x: inverse = %#x, want %#x",
+					banks, uint64(a), uint64(got.Base()), uint64(addr.LineAlign(a)))
+			}
+		}
+	}
+}

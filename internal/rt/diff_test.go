@@ -1,0 +1,214 @@
+package rt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/config"
+	"cohesion/internal/machine"
+)
+
+// Differential fuzzing: a randomly generated bulk-synchronous program must
+// produce a bit-identical memory image under SWcc, HWcc, and Cohesion, and
+// match a host-side golden model. Any divergence is a coherence bug in one
+// of the three protocol stacks.
+//
+// The generated programs follow the Task Centric discipline the paper's
+// benchmarks use (ping-pong buffers, as in heat/stencil): phase ph writes
+// task-disjoint blocks of buffer ph%2 and reads arbitrary words of the
+// other buffer (produced last phase), invalidating read lines lazily and
+// flushing written blocks eagerly. Reads never race same-phase writes —
+// the discipline the model requires — but block boundaries, line sharing
+// between adjacent blocks, and cross-cluster read sets are all random.
+
+type fuzzProgram struct {
+	phases  int
+	tasks   int // per phase
+	words   int // per buffer
+	workers int
+	seed    int64
+}
+
+type fuzzOp struct {
+	write bool
+	word  int
+	val   uint32
+}
+
+type fuzzPlan struct {
+	ops    [][][]fuzzOp // [phase][task] -> op list
+	golden [2][]uint32  // final contents of both buffers
+}
+
+func buildPlan(p fuzzProgram) *fuzzPlan {
+	rng := rand.New(rand.NewSource(p.seed))
+	var mem [2][]uint32
+	mem[0] = make([]uint32, p.words)
+	mem[1] = make([]uint32, p.words)
+	plan := &fuzzPlan{}
+	blockWords := p.words / p.tasks
+	for ph := 0; ph < p.phases; ph++ {
+		wbuf, rbuf := ph%2, (ph+1)%2
+		phaseOps := make([][]fuzzOp, p.tasks)
+		staged := map[int]uint32{}
+		for task := 0; task < p.tasks; task++ {
+			lo := task * blockWords
+			n := 4 + rng.Intn(8)
+			var ops []fuzzOp
+			acc := uint32(ph*1000 + task)
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) == 0 {
+					w := rng.Intn(p.words) // read the other buffer, anywhere
+					ops = append(ops, fuzzOp{write: false, word: w})
+					acc = acc*31 + mem[rbuf][w]
+				} else {
+					w := lo + rng.Intn(blockWords) // write own block
+					val := acc*2654435761 + uint32(i) + 1
+					ops = append(ops, fuzzOp{write: true, word: w, val: val})
+					staged[w] = val
+				}
+			}
+			phaseOps[task] = ops
+		}
+		for w, v := range staged {
+			mem[wbuf][w] = v
+		}
+		plan.ops = append(plan.ops, phaseOps)
+	}
+	plan.golden[0] = mem[0]
+	plan.golden[1] = mem[1]
+	return plan
+}
+
+// fuzzWorker runs the plan's phases; migrate, when non-nil, is called by
+// worker 0 at the given phase boundary (the mid-run transition variant).
+func fuzzWorker(p fuzzProgram, plan *fuzzPlan, buf [2]addr.Addr, wk int,
+	migrateAt int, migrate func(x *Ctx)) func(x *Ctx) {
+	blockWords := p.words / p.tasks
+	wordAddr := func(b, w int) addr.Addr { return buf[b] + addr.Addr(4*w) }
+	return func(x *Ctx) {
+		for ph := 0; ph < p.phases; ph++ {
+			if migrate != nil && ph == migrateAt {
+				if wk == 0 {
+					migrate(x)
+				}
+				x.Barrier()
+			}
+			wbuf, rbuf := ph%2, (ph+1)%2
+			phaseOps := plan.ops[ph]
+			x.ParallelFor(p.tasks, func(task int) {
+				lo := task * blockWords
+				// Lazy invalidation of the read buffer (stable this phase).
+				x.InvIfSWcc(buf[rbuf], uint64(4*p.words))
+				for _, op := range phaseOps[task] {
+					if op.write {
+						x.Store(wordAddr(wbuf, op.word), op.val)
+					} else {
+						_ = x.Load(wordAddr(rbuf, op.word))
+					}
+				}
+				// Eager writeback of the task's block of the write buffer.
+				x.FlushIfSWcc(wordAddr(wbuf, lo), uint64(4*blockWords))
+			})
+		}
+	}
+}
+
+func checkImage(t *testing.T, label string, m *machine.Machine, buf [2]addr.Addr, plan *fuzzPlan, words int) {
+	t.Helper()
+	for b := 0; b < 2; b++ {
+		for w := 0; w < words; w++ {
+			got := m.Store.ReadWord(buf[b] + addr.Addr(4*w))
+			if got != plan.golden[b][w] {
+				t.Fatalf("%s: buffer %d word %d = %#x, want %#x", label, b, w, got, plan.golden[b][w])
+			}
+		}
+	}
+}
+
+func runFuzz(t *testing.T, p fuzzProgram, plan *fuzzPlan, mode config.Mode) {
+	t.Helper()
+	cfg := config.Scaled(2).WithMode(mode)
+	if mode != config.SWcc {
+		cfg = cfg.WithDirectory(config.DirInfinite, 0, 0)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(m, p.workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := [2]addr.Addr{
+		r.CohMalloc(uint64(4 * p.words)),
+		r.CohMalloc(uint64(4 * p.words)),
+	}
+	for wk := 0; wk < p.workers; wk++ {
+		r.Spawn(wk*2, 1024, fuzzWorker(p, plan, buf, wk, -1, nil))
+	}
+	if err := m.Simulate(500_000_000); err != nil {
+		t.Fatalf("%v: %v", mode, err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("%v invariants: %v", mode, err)
+	}
+	m.DrainToMemory()
+	checkImage(t, mode.String(), m, buf, plan, p.words)
+}
+
+func TestDifferentialFuzzAcrossModes(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			p := fuzzProgram{phases: 6, tasks: 8, words: 256, workers: 6, seed: seed}
+			plan := buildPlan(p)
+			for _, mode := range []config.Mode{config.SWcc, config.HWcc, config.Cohesion} {
+				runFuzz(t, p, plan, mode)
+			}
+		})
+	}
+}
+
+// The same random program with the whole data set migrated to HWcc
+// halfway through the run: the coherence instructions become no-ops for
+// the second half and the image must still match the golden model.
+func TestDifferentialFuzzWithMidRunTransition(t *testing.T) {
+	p := fuzzProgram{phases: 6, tasks: 8, words: 256, workers: 6, seed: 42}
+	plan := buildPlan(p)
+
+	cfg := config.Scaled(2).WithMode(config.Cohesion).WithDirectory(config.DirInfinite, 0, 0)
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(m, p.workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := [2]addr.Addr{
+		r.CohMalloc(uint64(4 * p.words)),
+		r.CohMalloc(uint64(4 * p.words)),
+	}
+	migrate := func(x *Ctx) {
+		x.CohHWccRegion(buf[0], uint64(4*p.words))
+		x.CohHWccRegion(buf[1], uint64(4*p.words))
+	}
+	for wk := 0; wk < p.workers; wk++ {
+		r.Spawn(wk*2, 1024, fuzzWorker(p, plan, buf, wk, p.phases/2, migrate))
+	}
+	if err := m.Simulate(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m.DrainToMemory()
+	checkImage(t, "mid-run transition", m, buf, plan, p.words)
+	if m.Run.TransitionsToHW == 0 {
+		t.Fatal("mid-run migration never happened")
+	}
+}

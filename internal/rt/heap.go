@@ -1,0 +1,126 @@
+package rt
+
+import (
+	"fmt"
+	"sort"
+
+	"cohesion/internal/addr"
+)
+
+// Heap is a first-fit free-list allocator over a range of the simulated
+// address space. Allocation metadata is kept host-side: the paper's libc
+// heaps keep allocator metadata in memory, but benchmark setup happens
+// before timed execution, so modelling metadata traffic would only add
+// noise to the measured phases (see DESIGN.md).
+//
+// Two instances exist per runtime: the conventional coherent heap
+// (16-byte minimum allocation, always HWcc — Table 2's malloc/free) and
+// the incoherent heap (64-byte minimum so allocation metadata could stay
+// coherent, lines initially SWcc — Table 2's coh_malloc/coh_free).
+type Heap struct {
+	name     string
+	span     addr.Range
+	minAlloc uint64
+	free     []addr.Range // sorted by base, coalesced
+	live     map[addr.Addr]uint64
+}
+
+// NewHeap builds an allocator over span with the given minimum allocation
+// granule (allocations are rounded up to it; it must be a power of two).
+func NewHeap(name string, span addr.Range, minAlloc uint64) *Heap {
+	if minAlloc == 0 || minAlloc&(minAlloc-1) != 0 {
+		panic("rt: heap granule must be a power of two")
+	}
+	return &Heap{
+		name:     name,
+		span:     span,
+		minAlloc: minAlloc,
+		free:     []addr.Range{span},
+		live:     make(map[addr.Addr]uint64),
+	}
+}
+
+func (h *Heap) round(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	return (size + h.minAlloc - 1) &^ (h.minAlloc - 1)
+}
+
+// Alloc returns the base of a fresh block of at least size bytes, aligned
+// to the heap granule. It fails when the heap is exhausted.
+func (h *Heap) Alloc(size uint64) (addr.Addr, error) {
+	size = h.round(size)
+	for i, r := range h.free {
+		if r.Size < size {
+			continue
+		}
+		base := r.Base
+		if r.Size == size {
+			h.free = append(h.free[:i], h.free[i+1:]...)
+		} else {
+			h.free[i] = addr.Range{Base: r.Base + addr.Addr(size), Size: r.Size - size}
+		}
+		h.live[base] = size
+		return base, nil
+	}
+	return 0, fmt.Errorf("rt: %s heap exhausted allocating %d bytes", h.name, size)
+}
+
+// MustAlloc is Alloc for setup code where exhaustion is a programming error.
+func (h *Heap) MustAlloc(size uint64) addr.Addr {
+	a, err := h.Alloc(size)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Free returns a block to the heap, coalescing with neighbors. Freeing an
+// address that is not a live allocation base is an error.
+func (h *Heap) Free(base addr.Addr) error {
+	size, ok := h.live[base]
+	if !ok {
+		return fmt.Errorf("rt: %s heap: free of non-allocated address %#x", h.name, uint64(base))
+	}
+	delete(h.live, base)
+	r := addr.Range{Base: base, Size: size}
+	i := sort.Search(len(h.free), func(i int) bool { return h.free[i].Base > r.Base })
+	h.free = append(h.free, addr.Range{})
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = r
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(h.free) && h.free[i].End() == h.free[i+1].Base {
+		h.free[i].Size += h.free[i+1].Size
+		h.free = append(h.free[:i+1], h.free[i+2:]...)
+	}
+	if i > 0 && h.free[i-1].End() == h.free[i].Base {
+		h.free[i-1].Size += h.free[i].Size
+		h.free = append(h.free[:i], h.free[i+1:]...)
+	}
+	return nil
+}
+
+// LiveBytes reports the total currently-allocated size.
+func (h *Heap) LiveBytes() uint64 {
+	var n uint64
+	for _, s := range h.live {
+		n += s
+	}
+	return n
+}
+
+// FreeBytes reports the total unallocated size.
+func (h *Heap) FreeBytes() uint64 {
+	var n uint64
+	for _, r := range h.free {
+		n += r.Size
+	}
+	return n
+}
+
+// Span returns the heap's full address range.
+func (h *Heap) Span() addr.Range { return h.span }
+
+// Contains reports whether a falls inside the heap's range.
+func (h *Heap) Contains(a addr.Addr) bool { return h.span.Contains(a) }

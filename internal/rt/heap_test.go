@@ -1,0 +1,134 @@
+package rt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cohesion/internal/addr"
+)
+
+func testSpan() addr.Range { return addr.Range{Base: 0x1000, Size: 4096} }
+
+func TestHeapAllocAlignmentAndGranule(t *testing.T) {
+	h := NewHeap("t", testSpan(), 64)
+	a := h.MustAlloc(1)
+	b := h.MustAlloc(65)
+	if a%64 != 0 || b%64 != 0 {
+		t.Fatal("allocations not granule-aligned")
+	}
+	if b-a < 64 {
+		t.Fatal("first allocation not rounded to granule")
+	}
+	if b-a != 64 {
+		t.Fatalf("first-fit placement gap = %d", b-a)
+	}
+	if h.LiveBytes() != 64+128 {
+		t.Fatalf("LiveBytes = %d", h.LiveBytes())
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	h := NewHeap("t", testSpan(), 16)
+	if _, err := h.Alloc(5000); err == nil {
+		t.Fatal("oversized allocation succeeded")
+	}
+	h.MustAlloc(4096)
+	if _, err := h.Alloc(16); err == nil {
+		t.Fatal("allocation from empty heap succeeded")
+	}
+}
+
+func TestHeapFreeAndCoalesce(t *testing.T) {
+	h := NewHeap("t", testSpan(), 16)
+	a := h.MustAlloc(1024)
+	b := h.MustAlloc(1024)
+	c := h.MustAlloc(1024)
+	_ = b
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(b); err != nil { // coalesces both sides
+		t.Fatal(err)
+	}
+	if h.FreeBytes() != 4096 || h.LiveBytes() != 0 {
+		t.Fatalf("free=%d live=%d after full free", h.FreeBytes(), h.LiveBytes())
+	}
+	// After coalescing, a full-span allocation must fit again.
+	if _, err := h.Alloc(4096); err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+}
+
+func TestHeapDoubleFreeRejected(t *testing.T) {
+	h := NewHeap("t", testSpan(), 16)
+	a := h.MustAlloc(64)
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := h.Free(a + 4); err == nil {
+		t.Fatal("interior free accepted")
+	}
+}
+
+func TestHeapBadGranulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two granule accepted")
+		}
+	}()
+	NewHeap("t", testSpan(), 48)
+}
+
+// Property: live allocations never overlap, stay in the span, and
+// live+free bytes always equal the span size.
+func TestQuickHeapInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHeap("q", testSpan(), 32)
+		type blk struct {
+			base addr.Addr
+			size uint64
+		}
+		var blocks []blk
+		for i := 0; i < 300; i++ {
+			if rng.Intn(2) == 0 || len(blocks) == 0 {
+				size := uint64(rng.Intn(300) + 1)
+				a, err := h.Alloc(size)
+				if err != nil {
+					continue
+				}
+				rounded := (size + 31) &^ 31
+				nr := addr.Range{Base: a, Size: rounded}
+				if !testSpan().Contains(a) || !testSpan().Contains(nr.End()-1) {
+					return false
+				}
+				for _, b := range blocks {
+					if nr.Overlaps(addr.Range{Base: b.base, Size: b.size}) {
+						return false
+					}
+				}
+				blocks = append(blocks, blk{a, rounded})
+			} else {
+				i := rng.Intn(len(blocks))
+				if h.Free(blocks[i].base) != nil {
+					return false
+				}
+				blocks = append(blocks[:i], blocks[i+1:]...)
+			}
+			if h.LiveBytes()+h.FreeBytes() != 4096 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

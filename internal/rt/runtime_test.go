@@ -1,0 +1,417 @@
+package rt
+
+import (
+	"testing"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/config"
+	"cohesion/internal/machine"
+	"cohesion/internal/msg"
+)
+
+func newRT(t *testing.T, cfg config.Machine, workers int) *Runtime {
+	t.Helper()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(m, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func runRT(t *testing.T, r *Runtime) {
+	t.Helper()
+	if err := r.M.Simulate(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.M.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	r.M.DrainToMemory()
+}
+
+func cohCfg(clusters int) config.Machine {
+	return config.Scaled(clusters).WithMode(config.Cohesion).WithDirectory(config.DirInfinite, 0, 0)
+}
+
+func TestTable2APIDomains(t *testing.T) {
+	r := newRT(t, cohCfg(2), 1)
+	hw := r.Malloc(128)
+	sw := r.CohMalloc(128)
+	glob := r.GlobalAlloc(128)
+	if r.IsSWccDomain(hw) {
+		t.Fatal("malloc data must be HWcc")
+	}
+	if !r.IsSWccDomain(sw) {
+		t.Fatal("coh_malloc data must start SWcc")
+	}
+	if !r.IsSWccDomain(glob) {
+		t.Fatal("immutable globals must be coarse SWcc")
+	}
+	if !r.IsSWccDomain(r.StackOf(0).Base) {
+		t.Fatal("stacks must be coarse SWcc")
+	}
+	r.Free(hw)
+	r.CohFree(sw)
+	// CohMalloc respects the 64-byte minimum (paper §3.5).
+	a := r.CohMalloc(1)
+	b := r.CohMalloc(1)
+	if b-a < 64 {
+		t.Fatalf("incoherent heap granule %d < 64", b-a)
+	}
+}
+
+func TestModeDomainDefaults(t *testing.T) {
+	rSW := newRT(t, config.Scaled(1).WithMode(config.SWcc), 1)
+	if !rSW.IsSWccDomain(rSW.Malloc(32)) {
+		t.Fatal("SWcc mode: everything is software-managed")
+	}
+	rHW := newRT(t, config.Scaled(1).WithMode(config.HWcc).WithDirectory(config.DirInfinite, 0, 0), 1)
+	if rHW.IsSWccDomain(rHW.CohMalloc(64)) {
+		t.Fatal("HWcc mode: nothing is software-managed")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	r := newRT(t, cohCfg(2), 4)
+	flag := r.Malloc(64)
+	violations := 0
+	for w := 0; w < 4; w++ {
+		w := w
+		r.Spawn(w*2, 256, func(x *Ctx) {
+			// Before the barrier, worker 0 sets the flag; after the
+			// barrier everyone must observe it (HWcc data).
+			if w == 0 {
+				x.Store(flag, 7)
+			}
+			x.Work(10 * (w + 1)) // skew arrival times
+			x.Barrier()
+			if x.Load(flag) != 7 {
+				violations++
+			}
+			x.Barrier()
+		})
+	}
+	runRT(t, r)
+	if violations != 0 {
+		t.Fatalf("%d workers read stale data after barrier", violations)
+	}
+}
+
+func TestParallelForRunsEachTaskOnce(t *testing.T) {
+	r := newRT(t, cohCfg(2), 4)
+	out := r.Malloc(4 * 64)
+	for w := 0; w < 4; w++ {
+		r.Spawn(w*4, 256, func(x *Ctx) {
+			x.ParallelFor(64, func(task int) {
+				x.AtomicAdd(out+addr.Addr(task*4), 1)
+			})
+			x.ParallelFor(32, func(task int) {
+				x.AtomicAdd(out+addr.Addr(task*4), 100)
+			})
+		})
+	}
+	runRT(t, r)
+	for i := 0; i < 64; i++ {
+		want := uint32(1)
+		if i < 32 {
+			want = 101
+		}
+		if got := r.ReadWord(out + addr.Addr(i*4)); got != want {
+			t.Fatalf("task %d ran %d times (word=%d)", i, got%100, got)
+		}
+	}
+	if r.M.Run.Messages[msg.Atomic] == 0 {
+		t.Fatal("task queue produced no atomic traffic")
+	}
+}
+
+func TestFlushInvHelpersRespectDomain(t *testing.T) {
+	r := newRT(t, cohCfg(1), 1)
+	sw := r.CohMalloc(256)
+	hw := r.Malloc(256)
+	r.Spawn(0, 256, func(x *Ctx) {
+		for i := 0; i < 8; i++ {
+			x.Store(sw+addr.Addr(i*32), 1)
+			x.Store(hw+addr.Addr(i*32), 1)
+		}
+		x.FlushIfSWcc(sw, 256) // issues 8 flushes
+		x.FlushIfSWcc(hw, 256) // no-op: HWcc domain
+		x.InvIfSWcc(hw, 256)   // no-op
+	})
+	runRT(t, r)
+	if got := r.M.Run.WBIssued; got != 8 {
+		t.Fatalf("WBIssued = %d, want 8", got)
+	}
+	if r.M.Run.InvIssued != 0 {
+		t.Fatal("invalidates issued for HWcc data")
+	}
+}
+
+func TestCohRegionTransitionsRoundTrip(t *testing.T) {
+	r := newRT(t, cohCfg(2), 1)
+	data := r.CohMalloc(256) // 8 lines, SWcc
+	r.Spawn(0, 256, func(x *Ctx) {
+		for i := 0; i < 8; i++ {
+			x.Store(data+addr.Addr(i*32), uint32(i+1)) // dirty SWcc
+		}
+		x.CohHWccRegion(data, 256) // captures all 8 lines
+		if v := x.Load(data + 32); v != 2 {
+			t.Errorf("post-capture load = %d", v)
+		}
+		x.CohSWccRegion(data, 256) // back to SWcc
+	})
+	runRT(t, r)
+	if r.M.Run.TransitionsToHW != 8 || r.M.Run.TransitionsToSW != 8 {
+		t.Fatalf("transitions toHW=%d toSW=%d, want 8/8", r.M.Run.TransitionsToHW, r.M.Run.TransitionsToSW)
+	}
+	if !r.IsSWccDomain(data) {
+		t.Fatal("region did not return to SWcc")
+	}
+	for i := 0; i < 8; i++ {
+		if got := r.ReadWord(data + addr.Addr(i*32)); got != uint32(i+1) {
+			t.Fatalf("word %d = %d after round trip", i, got)
+		}
+	}
+}
+
+func TestCohRegionNoopOutsideCohesion(t *testing.T) {
+	r := newRT(t, config.Scaled(1).WithMode(config.SWcc), 1)
+	data := r.CohMalloc(128)
+	r.Spawn(0, 256, func(x *Ctx) {
+		x.Store(data, 5)
+		x.CohHWccRegion(data, 128) // must be a no-op, not a table write
+	})
+	runRT(t, r)
+	if r.M.Run.TransitionsToHW != 0 {
+		t.Fatal("transition ran outside Cohesion mode")
+	}
+}
+
+func TestStackScratch(t *testing.T) {
+	r := newRT(t, cohCfg(1), 1)
+	var sum uint32
+	r.Spawn(0, 256, func(x *Ctx) {
+		s := x.StackAlloc(16)
+		for i := 0; i < 16; i++ {
+			x.Store(s+addr.Addr(i*4), uint32(i))
+		}
+		for i := 0; i < 16; i++ {
+			sum += x.Load(s + addr.Addr(i*4))
+		}
+		x.FrameReset()
+		s2 := x.StackAlloc(16)
+		if s2 != s {
+			t.Error("FrameReset did not pop")
+		}
+	})
+	runRT(t, r)
+	if sum != 120 {
+		t.Fatalf("stack sum = %d, want 120", sum)
+	}
+}
+
+func TestStackOverflowPanicsInProgram(t *testing.T) {
+	r := newRT(t, cohCfg(1), 1)
+	recovered := false
+	r.Spawn(0, 256, func(x *Ctx) {
+		defer func() {
+			if recover() != nil {
+				recovered = true
+			}
+		}()
+		x.StackAlloc(1 << 20)
+	})
+	runRT(t, r)
+	if !recovered {
+		t.Fatal("stack overflow not detected")
+	}
+}
+
+func TestFloat32Views(t *testing.T) {
+	r := newRT(t, cohCfg(1), 1)
+	a := r.Malloc(64)
+	r.WriteF32(a, 3.25)
+	var got float32
+	r.Spawn(0, 256, func(x *Ctx) {
+		got = x.LoadF32(a)
+		x.StoreF32(a+4, got*2)
+	})
+	runRT(t, r)
+	if got != 3.25 || r.ReadF32(a+4) != 6.5 {
+		t.Fatalf("float views wrong: %v %v", got, r.ReadF32(a+4))
+	}
+}
+
+func TestNewRejectsBadWorkerCount(t *testing.T) {
+	m, err := machine.New(cohCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m, 0); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := New(m, 9); err == nil {
+		t.Fatal("too many workers accepted")
+	}
+}
+
+func TestPhaseMarksRecorded(t *testing.T) {
+	r := newRT(t, cohCfg(2), 4)
+	for w := 0; w < 4; w++ {
+		r.Spawn(w*2, 256, func(x *Ctx) {
+			x.ParallelFor(8, func(task int) { x.Work(10) })
+			x.ParallelFor(8, func(task int) { x.Work(10) })
+			x.Barrier()
+		})
+	}
+	runRT(t, r)
+	marks := r.M.Run.PhaseMarks
+	if len(marks) != 3 { // two ParallelFor barriers + one explicit
+		t.Fatalf("phase marks = %d, want 3", len(marks))
+	}
+	for i := 1; i < len(marks); i++ {
+		if marks[i].Cycle <= marks[i-1].Cycle {
+			t.Fatal("phase marks not increasing")
+		}
+		if marks[i].Messages < marks[i-1].Messages {
+			t.Fatal("cumulative messages decreased")
+		}
+	}
+}
+
+func TestTimelineSampled(t *testing.T) {
+	r := newRT(t, cohCfg(1), 1)
+	d := r.Malloc(4096)
+	r.Spawn(0, 256, func(x *Ctx) {
+		for i := 0; i < 200; i++ {
+			x.Store(d+addr.Addr(i*4%4096), uint32(i))
+			x.Work(40)
+		}
+	})
+	runRT(t, r)
+	tl := r.M.Run.Timeline
+	if len(tl) == 0 {
+		t.Fatal("no timeline samples")
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].Cycle <= tl[i-1].Cycle || tl[i].Messages < tl[i-1].Messages {
+			t.Fatal("timeline not monotone")
+		}
+	}
+}
+
+func TestPartitionsAreDisjointAndIndependent(t *testing.T) {
+	m, err := machine.New(cohCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewPartition(m, 2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPartition(m, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heap spans must not overlap.
+	for _, pair := range [][2]*Heap{{a.Heap, b.Heap}, {a.CohHeap, b.CohHeap}, {a.Globals, b.Globals}} {
+		if pair[0].Span().Overlaps(pair[1].Span()) {
+			t.Fatalf("partition heaps overlap: %v vs %v", pair[0].Span(), pair[1].Span())
+		}
+	}
+	// Each partition runs its own task loop with a private barrier; both
+	// must complete with their own counters intact.
+	outA := a.Malloc(64)
+	outB := b.Malloc(64)
+	for w := 0; w < 2; w++ {
+		a.Spawn(w, 256, func(x *Ctx) { // cluster 0
+			x.ParallelFor(10, func(task int) { x.AtomicAdd(outA, 1) })
+		})
+		b.Spawn(8+w, 256, func(x *Ctx) { // cluster 1
+			x.ParallelFor(20, func(task int) { x.AtomicAdd(outB, 1) })
+			x.Barrier()
+		})
+	}
+	if err := m.Simulate(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Store.ReadWord(outA); got != 10 {
+		t.Fatalf("partition A counter = %d, want 10", got)
+	}
+	if got := m.Store.ReadWord(outB); got != 20 {
+		t.Fatalf("partition B counter = %d, want 20", got)
+	}
+}
+
+func TestPartitionRejectsBadSlots(t *testing.T) {
+	m, err := machine.New(cohCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPartition(m, 1, 2, 2); err == nil {
+		t.Fatal("slot >= nslots accepted")
+	}
+	if _, err := NewPartition(m, 1, -1, 2); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	if _, err := NewPartition(m, 1, 0, 0); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+}
+
+func TestParallelForDistributedRunsEachTaskOnce(t *testing.T) {
+	r := newRT(t, cohCfg(2), 5) // odd worker count: uneven ranges
+	out := r.Malloc(4 * 97)
+	for w := 0; w < 5; w++ {
+		r.Spawn(w*3, 256, func(x *Ctx) {
+			x.ParallelForDistributed(97, func(task int) {
+				x.AtomicAdd(out+addr.Addr(task*4), 1)
+			})
+			// A second phase with a different size reuses fresh counters.
+			x.ParallelForDistributed(13, func(task int) {
+				x.AtomicAdd(out+addr.Addr(task*4), 100)
+			})
+		})
+	}
+	runRT(t, r)
+	for i := 0; i < 97; i++ {
+		want := uint32(1)
+		if i < 13 {
+			want = 101
+		}
+		if got := r.ReadWord(out + addr.Addr(i*4)); got != want {
+			t.Fatalf("task %d count = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestParallelForDistributedHarvestsImbalance(t *testing.T) {
+	// All the work is "owned" by whichever workers' ranges cover it, but a
+	// skewed body (task 0..9 heavy) forces others to harvest; everything
+	// must still run exactly once.
+	r := newRT(t, cohCfg(2), 4)
+	out := r.Malloc(4 * 32)
+	for w := 0; w < 4; w++ {
+		r.Spawn(w*4, 256, func(x *Ctx) {
+			x.ParallelForDistributed(32, func(task int) {
+				if task < 8 {
+					x.Work(2000) // heavy head
+				}
+				x.AtomicAdd(out+addr.Addr(task*4), 1)
+			})
+		})
+	}
+	runRT(t, r)
+	for i := 0; i < 32; i++ {
+		if got := r.ReadWord(out + addr.Addr(i*4)); got != 1 {
+			t.Fatalf("task %d ran %d times", i, got)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package stats collects the measurements the paper's evaluation reports:
+// L2-output message counts by class (Figs 2, 8), SWcc coherence-instruction
+// efficiency (Fig 3), directory occupancy over time with an address-class
+// breakdown (Fig 9c), and end-to-end run time (Figs 9a/9b, 10).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/msg"
+)
+
+// Run accumulates every measurement for one simulation.
+type Run struct {
+	// Messages counts L2-output messages by class (the Figs 2/8 stack).
+	Messages [msg.NumKinds]uint64
+
+	// ProbesSent counts directory-to-L2 probe messages (invalidations,
+	// writeback requests, and SW-to-HW clean-capture broadcasts). Not part
+	// of the figures' stacks, but reported for network-load analysis.
+	ProbesSent uint64
+
+	// SWcc coherence-instruction efficiency (Fig 3). "Useful" operations
+	// found the target line valid in the L2.
+	InvIssued, InvUseful uint64
+	WBIssued, WBUseful   uint64
+
+	// Cohesion domain transitions performed by the directory.
+	TransitionsToSW, TransitionsToHW uint64
+
+	// Directory behaviour.
+	DirEvictions  uint64 // entries evicted for capacity (sparse/limited)
+	DirBroadcasts uint64 // Dir4B overflow broadcasts
+
+	// OverlapRaces counts SW-to-HW captures that found the same word dirty
+	// in more than one L2 — the paper's Figure 7 Case 5b software race.
+	OverlapRaces uint64
+
+	// DRAM line transfers.
+	DRAMReads, DRAMWrites uint64
+
+	// Core activity.
+	Instructions uint64 // memory + coherence instructions executed
+	Cycles       uint64 // simulated run time
+
+	// Network load (filled in by the machine at the end of a run).
+	NetMessages uint64
+	NetBytes    uint64
+
+	// Occupancy samples the allocated-directory-entry count every
+	// SamplePeriod cycles (Fig 9c).
+	Occupancy OccupancySampler
+
+	// Trace, when non-nil, retains the tail of the protocol event history
+	// (see TraceLog). Enabled via machine.Machine.EnableTrace.
+	Trace *TraceLog
+
+	// PhaseMarks records each global barrier release: the cycle it
+	// happened and the cumulative message count at that point, giving a
+	// per-phase traffic breakdown for bulk-synchronous workloads.
+	PhaseMarks []PhaseMark
+
+	// Timeline samples cumulative traffic alongside the occupancy sampler
+	// (every SamplePeriod cycles), for traffic-over-time plots.
+	Timeline []TimelineSample
+}
+
+// PhaseMark is one barrier release.
+type PhaseMark struct {
+	Cycle    uint64
+	Messages uint64
+}
+
+// MarkPhase appends a barrier-release mark (bounded against runaway
+// phase counts).
+func (r *Run) MarkPhase(cycle uint64) {
+	if len(r.PhaseMarks) < 1<<16 {
+		r.PhaseMarks = append(r.PhaseMarks, PhaseMark{Cycle: cycle, Messages: r.TotalMessages()})
+	}
+}
+
+// TimelineSample is one periodic traffic observation.
+type TimelineSample struct {
+	Cycle      uint64
+	Messages   uint64 // cumulative L2-output messages
+	Probes     uint64 // cumulative directory probes
+	DirEntries uint64 // currently allocated directory entries
+}
+
+// SamplePeriod is the directory-occupancy sampling interval in cycles
+// (the paper samples every 1000 cycles).
+const SamplePeriod = 1000
+
+// CountMessage records one L2-output message of class k.
+func (r *Run) CountMessage(k msg.Kind) { r.Messages[k]++ }
+
+// TotalMessages sums the L2-output message classes.
+func (r *Run) TotalMessages() uint64 {
+	var t uint64
+	for _, n := range r.Messages {
+		t += n
+	}
+	return t
+}
+
+// OccupancySampler tracks time-averaged and maximum directory occupancy,
+// broken down by address class (code / heap+global / stack).
+type OccupancySampler struct {
+	samples  uint64
+	sumTotal uint64
+	sumClass [addr.NumClasses]uint64
+	maxTotal uint64
+}
+
+// Sample records one observation of the current per-class entry counts.
+func (o *OccupancySampler) Sample(byClass [addr.NumClasses]uint64) {
+	o.samples++
+	var total uint64
+	for c, n := range byClass {
+		o.sumClass[c] += n
+		total += n
+	}
+	o.sumTotal += total
+	if total > o.maxTotal {
+		o.maxTotal = total
+	}
+}
+
+// Samples reports the number of observations taken.
+func (o *OccupancySampler) Samples() uint64 { return o.samples }
+
+// MeanTotal returns the time-averaged total number of allocated entries.
+func (o *OccupancySampler) MeanTotal() float64 {
+	if o.samples == 0 {
+		return 0
+	}
+	return float64(o.sumTotal) / float64(o.samples)
+}
+
+// MeanClass returns the time-averaged entry count for one address class.
+func (o *OccupancySampler) MeanClass(c addr.Class) float64 {
+	if o.samples == 0 {
+		return 0
+	}
+	return float64(o.sumClass[c]) / float64(o.samples)
+}
+
+// MaxTotal returns the maximum observed total entry count.
+func (o *OccupancySampler) MaxTotal() uint64 { return o.maxTotal }
+
+// UsefulInvFraction returns the Fig-3 "useful invalidations" ratio.
+func (r *Run) UsefulInvFraction() float64 { return frac(r.InvUseful, r.InvIssued) }
+
+// UsefulWBFraction returns the Fig-3 "useful writebacks" ratio.
+func (r *Run) UsefulWBFraction() float64 { return frac(r.WBUseful, r.WBIssued) }
+
+func frac(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// String renders a compact human-readable report.
+func (r *Run) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d instructions=%d messages=%d\n", r.Cycles, r.Instructions, r.TotalMessages())
+	for _, k := range msg.Kinds() {
+		if r.Messages[k] > 0 {
+			fmt.Fprintf(&b, "  %-28s %d\n", k.String(), r.Messages[k])
+		}
+	}
+	if r.ProbesSent > 0 {
+		fmt.Fprintf(&b, "  %-28s %d\n", "Probes (dir->L2)", r.ProbesSent)
+	}
+	if r.InvIssued+r.WBIssued > 0 {
+		fmt.Fprintf(&b, "  swcc inv useful %.3f (%d/%d) wb useful %.3f (%d/%d)\n",
+			r.UsefulInvFraction(), r.InvUseful, r.InvIssued,
+			r.UsefulWBFraction(), r.WBUseful, r.WBIssued)
+	}
+	if r.TransitionsToHW+r.TransitionsToSW > 0 {
+		fmt.Fprintf(&b, "  transitions toHW=%d toSW=%d\n", r.TransitionsToHW, r.TransitionsToSW)
+	}
+	if r.Occupancy.Samples() > 0 {
+		fmt.Fprintf(&b, "  directory mean=%.1f max=%d entries\n", r.Occupancy.MeanTotal(), r.Occupancy.MaxTotal())
+	}
+	return b.String()
+}
+
+// Table renders rows of label/value pairs aligned in columns; used by the
+// experiment harness for figure output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Sort orders rows lexicographically by the first column.
+func (t *Table) Sort() {
+	sort.SliceStable(t.Rows, func(i, j int) bool { return t.Rows[i][0] < t.Rows[j][0] })
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/msg"
+)
+
+func TestCountAndTotal(t *testing.T) {
+	var r Run
+	r.CountMessage(msg.ReadReq)
+	r.CountMessage(msg.ReadReq)
+	r.CountMessage(msg.SWFlush)
+	if r.Messages[msg.ReadReq] != 2 || r.Messages[msg.SWFlush] != 1 {
+		t.Fatalf("counts wrong: %v", r.Messages)
+	}
+	if r.TotalMessages() != 3 {
+		t.Fatalf("total = %d", r.TotalMessages())
+	}
+}
+
+func TestUsefulFractions(t *testing.T) {
+	var r Run
+	if r.UsefulInvFraction() != 0 || r.UsefulWBFraction() != 0 {
+		t.Fatal("empty run fractions should be 0")
+	}
+	r.InvIssued, r.InvUseful = 10, 4
+	r.WBIssued, r.WBUseful = 8, 8
+	if math.Abs(r.UsefulInvFraction()-0.4) > 1e-12 {
+		t.Fatalf("inv fraction = %f", r.UsefulInvFraction())
+	}
+	if r.UsefulWBFraction() != 1.0 {
+		t.Fatalf("wb fraction = %f", r.UsefulWBFraction())
+	}
+}
+
+func TestOccupancySampler(t *testing.T) {
+	var o OccupancySampler
+	if o.MeanTotal() != 0 || o.MaxTotal() != 0 || o.MeanClass(addr.ClassCode) != 0 {
+		t.Fatal("empty sampler not zero")
+	}
+	var s1, s2 [addr.NumClasses]uint64
+	s1[addr.ClassCode] = 2
+	s1[addr.ClassHeapGlobal] = 10
+	s1[addr.ClassStack] = 4
+	s2[addr.ClassHeapGlobal] = 30
+	o.Sample(s1)
+	o.Sample(s2)
+	if o.Samples() != 2 {
+		t.Fatalf("samples = %d", o.Samples())
+	}
+	if got := o.MeanTotal(); got != 23 { // (16+30)/2
+		t.Fatalf("mean total = %f", got)
+	}
+	if got := o.MeanClass(addr.ClassHeapGlobal); got != 20 {
+		t.Fatalf("mean heap = %f", got)
+	}
+	if got := o.MeanClass(addr.ClassStack); got != 2 {
+		t.Fatalf("mean stack = %f", got)
+	}
+	if o.MaxTotal() != 30 {
+		t.Fatalf("max = %d", o.MaxTotal())
+	}
+}
+
+func TestRunString(t *testing.T) {
+	var r Run
+	r.Cycles = 100
+	r.CountMessage(msg.Atomic)
+	r.InvIssued, r.InvUseful = 2, 1
+	r.TransitionsToHW = 3
+	r.ProbesSent = 7
+	var cls [addr.NumClasses]uint64
+	cls[addr.ClassStack] = 5
+	r.Occupancy.Sample(cls)
+	s := r.String()
+	for _, want := range []string{"cycles=100", "Uncached/Atomic", "inv useful 0.500", "toHW=3", "Probes", "mean=5.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := Table{Header: []string{"kernel", "value"}}
+	tb.Add("stencil", "1.0")
+	tb.Add("cg", "2.5")
+	tb.Sort()
+	if tb.Rows[0][0] != "cg" {
+		t.Fatalf("sort failed: %v", tb.Rows)
+	}
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "kernel") || !strings.Contains(lines[1], "cg") {
+		t.Fatalf("table formatting wrong:\n%s", s)
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceEntry is one protocol event retained by the bounded trace log.
+type TraceEntry struct {
+	Cycle uint64
+	Site  string // component that emitted it, e.g. "home3", "cl0"
+	Event string
+}
+
+func (e TraceEntry) String() string {
+	return fmt.Sprintf("%10d %-8s %s", e.Cycle, e.Site, e.Event)
+}
+
+// TraceLog is a fixed-capacity ring of protocol events. When full, the
+// oldest entries are overwritten — after a run it holds the tail of the
+// protocol history, which is what post-mortem debugging wants.
+type TraceLog struct {
+	cap     int
+	entries []TraceEntry
+	next    int
+	total   uint64
+}
+
+// NewTraceLog builds a ring holding up to capacity entries.
+func NewTraceLog(capacity int) *TraceLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceLog{cap: capacity}
+}
+
+// Add appends an event, evicting the oldest when full.
+func (l *TraceLog) Add(cycle uint64, site, event string) {
+	l.total++
+	e := TraceEntry{Cycle: cycle, Site: site, Event: event}
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		return
+	}
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % l.cap
+}
+
+// Total reports how many events were ever added.
+func (l *TraceLog) Total() uint64 { return l.total }
+
+// Entries returns the retained events, oldest first.
+func (l *TraceLog) Entries() []TraceEntry {
+	if len(l.entries) < l.cap {
+		out := make([]TraceEntry, len(l.entries))
+		copy(out, l.entries)
+		return out
+	}
+	out := make([]TraceEntry, 0, l.cap)
+	out = append(out, l.entries[l.next:]...)
+	out = append(out, l.entries[:l.next]...)
+	return out
+}
+
+// Dump renders the retained tail of the trace.
+func (l *TraceLog) Dump() string {
+	var b strings.Builder
+	if dropped := l.total - uint64(len(l.entries)); dropped > 0 {
+		fmt.Fprintf(&b, "... %d earlier events dropped ...\n", dropped)
+	}
+	for _, e := range l.Entries() {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TraceEvent records a protocol event when tracing is enabled; it is a
+// no-op (and avoids the Sprintf) otherwise.
+func (r *Run) TraceEvent(cycle uint64, site, format string, args ...any) {
+	if r.Trace == nil {
+		return
+	}
+	r.Trace.Add(cycle, site, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,72 @@
+package cohesion
+
+import (
+	"fmt"
+	"strings"
+
+	"cohesion/internal/msg"
+)
+
+// CSV renderers for the figure results, for piping experiment output into
+// plotting tools. Each returns a header line followed by one line per row.
+
+func csvJoin(cells []string) string { return strings.Join(cells, ",") }
+
+// BreakdownCSV renders Figure 2/8 rows.
+func BreakdownCSV(rows []MessageBreakdown) string {
+	var b strings.Builder
+	head := []string{"kernel", "config", "total", "relative"}
+	for _, k := range msg.Kinds() {
+		head = append(head, strings.ReplaceAll(strings.ToLower(k.String()), " ", "_"))
+	}
+	b.WriteString(csvJoin(head) + "\n")
+	for _, r := range rows {
+		cells := []string{r.Kernel, r.Config, fmt.Sprint(r.Total), fmt.Sprintf("%.4f", r.Relative)}
+		for _, k := range msg.Kinds() {
+			cells = append(cells, fmt.Sprint(r.Counts[k]))
+		}
+		b.WriteString(csvJoin(cells) + "\n")
+	}
+	return b.String()
+}
+
+// FlushEfficiencyCSV renders Figure 3 rows.
+func FlushEfficiencyCSV(rows []FlushEfficiency) string {
+	var b strings.Builder
+	b.WriteString("kernel,l2_kb,useful_inv,useful_wb\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%.4f,%.4f\n", r.Kernel, r.L2KB, r.UsefulInv, r.UsefulWB)
+	}
+	return b.String()
+}
+
+// DirSweepCSV renders Figure 9a/9b points (entries 0 = infinite baseline).
+func DirSweepCSV(rows []DirSweepPoint) string {
+	var b strings.Builder
+	b.WriteString("kernel,entries_per_bank,cycles,slowdown\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.4f\n", r.Kernel, r.EntriesPerBank, r.Cycles, r.Slowdown)
+	}
+	return b.String()
+}
+
+// OccupancyCSV renders Figure 9c rows.
+func OccupancyCSV(rows []OccupancyRow) string {
+	var b strings.Builder
+	b.WriteString("kernel,config,mean_total,mean_code,mean_heap_global,mean_stack,max_total\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%.2f,%.2f,%.2f,%.2f,%d\n",
+			r.Kernel, r.Config, r.MeanTotal, r.MeanCode, r.MeanHeap, r.MeanStack, r.MaxTotal)
+	}
+	return b.String()
+}
+
+// RuntimeCSV renders Figure 10 rows.
+func RuntimeCSV(rows []RuntimeRow) string {
+	var b strings.Builder
+	b.WriteString("kernel,config,cycles,normalized\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%.4f\n", r.Kernel, r.Config, r.Cycles, r.Normalized)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package cohesion
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ScalingPoint is one measurement of the scaling study: a kernel run at a
+// given machine size under one memory model.
+type ScalingPoint struct {
+	Kernel   string
+	Config   string
+	Clusters int
+	Cores    int
+	Cycles   uint64
+	Messages uint64
+	// MessagesPerCore normalizes network load to machine size — the
+	// paper's scalability argument is that hardware coherence's per-core
+	// message cost grows with sharing degree while software coherence's
+	// does not.
+	MessagesPerCore float64
+	ProbesSent      uint64
+}
+
+// ScalingStudy runs one kernel across machine sizes under SWcc, optimistic
+// HWcc, and Cohesion, quantifying the paper's central motivation (§1–2):
+// hardware coherence's network and directory costs grow with core count,
+// and a hybrid model recovers software coherence's scalability for the
+// data that permits it. The kernel's data set scales with the machine so
+// per-core work stays roughly constant (weak scaling).
+func ScalingStudy(kernel string, clusterCounts []int, seed int64, verify bool) ([]ScalingPoint, error) {
+	if len(clusterCounts) == 0 {
+		clusterCounts = []int{2, 4, 8, 16}
+	}
+	var out []ScalingPoint
+	for _, clusters := range clusterCounts {
+		base := ExpParams{Clusters: clusters}.expMachine()
+		for _, pt := range []struct {
+			name string
+			cfg  MachineConfig
+		}{
+			{"SWcc", base.WithMode(SWcc)},
+			{"HWcc", base.WithMode(HWcc).WithDirectory(DirInfinite, 0, 0)},
+			{"Cohesion", base.WithMode(Cohesion)},
+		} {
+			res, err := Run(RunConfig{
+				Machine: pt.cfg,
+				Kernel:  kernel,
+				Scale:   clusters, // weak scaling: data grows with machine
+				Seed:    seed,
+				Workers: 2 * clusters,
+				Verify:  verify,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("scaling %s/%s@%d: %w", kernel, pt.name, clusters, err)
+			}
+			cores := pt.cfg.Cores()
+			out = append(out, ScalingPoint{
+				Kernel:          kernel,
+				Config:          pt.name,
+				Clusters:        clusters,
+				Cores:           cores,
+				Cycles:          res.Cycles(),
+				Messages:        res.TotalMessages(),
+				MessagesPerCore: float64(res.TotalMessages()) / float64(cores),
+				ProbesSent:      res.Stats.ProbesSent,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ScalingCSV renders scaling-study points.
+func ScalingCSV(rows []ScalingPoint) string {
+	var b strings.Builder
+	b.WriteString("kernel,config,clusters,cores,cycles,messages,messages_per_core,probes\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%.2f,%d\n",
+			r.Kernel, r.Config, r.Clusters, r.Cores, r.Cycles, r.Messages, r.MessagesPerCore, r.ProbesSent)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package cohesion
+
+import (
+	"cohesion/internal/machine"
+	"cohesion/internal/rt"
+	"cohesion/internal/stats"
+)
+
+// Ctx is the per-worker handle custom workloads program against: loads,
+// stores, atomics, software flush/invalidate, barriers, the task queue,
+// and the Table 2 Cohesion API (CohSWccRegion/CohHWccRegion).
+type Ctx = rt.Ctx
+
+// System couples a simulated machine with its software runtime, for
+// writing custom workloads directly against the memory model (the
+// benchmark kernels use exactly this interface). Allocate data with the
+// runtime's Malloc (always hardware-coherent), CohMalloc (Cohesion-managed,
+// initially SWcc), or GlobalAlloc (immutable, coarse-grain SWcc), spawn
+// worker programs, then Simulate.
+type System struct {
+	m  *machine.Machine
+	rt *rt.Runtime
+}
+
+// NewSystem builds a machine and its runtime for the given worker count.
+func NewSystem(cfg MachineConfig, workers int) (*System, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r, err := rt.New(m, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &System{m: m, rt: r}, nil
+}
+
+// Runtime exposes allocation, host-side memory access, and domain queries.
+func (s *System) Runtime() *rt.Runtime { return s.rt }
+
+// Spawn launches a worker program on a global core index. codeBytes is
+// the program's instruction footprint (drives L1I behaviour).
+func (s *System) Spawn(core, codeBytes int, body func(*Ctx)) {
+	s.rt.Spawn(core, codeBytes, body)
+}
+
+// Simulate runs to completion, checks protocol invariants, and drains
+// dirty cache state to memory for host-side inspection.
+func (s *System) Simulate() error {
+	if err := s.m.Simulate(0); err != nil {
+		return err
+	}
+	if err := s.m.CheckInvariants(); err != nil {
+		return err
+	}
+	s.m.DrainToMemory()
+	return nil
+}
+
+// Stats returns the run's measurements.
+func (s *System) Stats() *stats.Run { return s.m.Run }
