@@ -7,6 +7,7 @@
 //	cohesion-sim -kernel dmm -mode hwcc -dir sparse -entries 1024 -assoc 0
 //	cohesion-sim -kernel stencil -mode swcc -clusters 16 -scale 4 -verify
 //	cohesion-sim -kernel kmeans -mode hwcc -table3   # full 1024-core machine
+//	cohesion-sim -kernel heat -faults -fault-seed 7  # fault injection + recovery
 package main
 
 import (
@@ -36,6 +37,10 @@ func main() {
 		phases   = flag.Bool("phases", false, "print per-phase (barrier-to-barrier) cycle and message breakdown")
 		timeline = flag.Bool("timeline", false, "print the traffic timeline as CSV")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
+
+		faults    = flag.Bool("faults", false, "inject network/directory faults (drops, dups, delays, NACKs) with recovery")
+		faultSeed = flag.Int64("fault-seed", 1, "fault plan PRNG seed")
+		watchdog  = flag.Int64("watchdog", 0, "forward-progress window in cycles (0 = default, negative = disabled)")
 	)
 	flag.Parse()
 
@@ -71,6 +76,10 @@ func main() {
 		}
 		cfg = cfg.WithDirectory(kind, e, *assoc)
 	}
+	if *faults {
+		cfg.Faults = cohesion.DefaultFaultPlan(*faultSeed)
+	}
+	cfg.WatchdogCycles = *watchdog
 
 	res, err := cohesion.Run(cohesion.RunConfig{
 		Machine:       cfg,
@@ -91,6 +100,9 @@ func main() {
 	fmt.Printf("%s on %s (%v, %v directory, %d cores)\n",
 		res.Kernel, res.Config.Label, res.Mode, res.Config.Directory, res.Config.Cores())
 	fmt.Print(res.Stats.String())
+	if *faults {
+		fmt.Printf("  memory fingerprint %#x (fault seed %d)\n", res.MemFingerprint, *faultSeed)
+	}
 	if res.Stats.Trace != nil {
 		fmt.Printf("\n== last %d protocol events ==\n%s", *traceN, res.Stats.Trace.Dump())
 	}
@@ -137,6 +149,13 @@ func emitJSON(res *cohesion.Result) {
 		"net_bytes":         res.Stats.NetBytes,
 		"swcc_inv_useful":   res.Stats.UsefulInvFraction(),
 		"swcc_wb_useful":    res.Stats.UsefulWBFraction(),
+		"fault_drops":       res.Stats.FaultDrops,
+		"fault_dups":        res.Stats.FaultDups,
+		"fault_delays":      res.Stats.FaultDelays,
+		"nacks_sent":        res.Stats.NacksSent,
+		"l2_retries":        res.Stats.L2Retries,
+		"nack_retries":      res.Stats.NackRetries,
+		"mem_fingerprint":   res.MemFingerprint,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -26,6 +26,7 @@ import (
 	"cohesion/internal/machine"
 	"cohesion/internal/msg"
 	"cohesion/internal/rt"
+	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
 )
 
@@ -59,6 +60,25 @@ func Table3Config() MachineConfig { return config.Table3() }
 // ScaledConfig returns a machine with Table 3 per-cluster geometry but
 // fewer clusters, for fast experimentation.
 func ScaledConfig(clusters int) MachineConfig { return config.Scaled(clusters) }
+
+// FaultPlan configures the deterministic fault-injection layer (message
+// drops, duplicate deliveries, delay spikes, directory NACKs). Set it on
+// MachineConfig.Faults.
+type FaultPlan = config.FaultPlan
+
+// DefaultFaultPlan returns a recovery-enabled plan with moderate fault
+// rates, seeded deterministically.
+func DefaultFaultPlan(seed int64) FaultPlan { return config.DefaultFaultPlan(seed) }
+
+// Structured-error sentinels for abnormal simulation ends; match with
+// errors.Is. The error text carries the full diagnostic (cycle, stuck
+// lines, directory state).
+var (
+	ErrDeadlock          = simerr.ErrDeadlock
+	ErrRetryExhausted    = simerr.ErrRetryExhausted
+	ErrProtocolInvariant = simerr.ErrProtocolInvariant
+	ErrConfig            = simerr.ErrConfig
+)
 
 // KernelNames lists the eight benchmark kernels (paper §4.1).
 func KernelNames() []string { return kernels.Names() }
@@ -111,6 +131,11 @@ type Result struct {
 	Mode   Mode
 	Config MachineConfig
 	Stats  stats.Run
+
+	// MemFingerprint digests the final memory image (after the exit drain);
+	// two runs with identical configuration, workload seed, and fault seed
+	// produce identical fingerprints.
+	MemFingerprint uint64
 }
 
 // Messages returns the count for one L2-output message class.
@@ -171,5 +196,11 @@ func Run(rc RunConfig) (*Result, error) {
 			return nil, fmt.Errorf("cohesion: %w", err)
 		}
 	}
-	return &Result{Kernel: rc.Kernel, Mode: rc.Machine.Mode, Config: rc.Machine, Stats: *m.Run}, nil
+	return &Result{
+		Kernel:         rc.Kernel,
+		Mode:           rc.Machine.Mode,
+		Config:         rc.Machine,
+		Stats:          *m.Run,
+		MemFingerprint: m.Store.Fingerprint(),
+	}, nil
 }

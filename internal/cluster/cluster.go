@@ -14,12 +14,14 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"cohesion/internal/addr"
 	"cohesion/internal/cache"
 	"cohesion/internal/config"
 	"cohesion/internal/event"
 	"cohesion/internal/msg"
+	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
 )
 
@@ -45,6 +47,30 @@ const (
 	OpWork  // Cycles of non-memory computation
 	OpDone  // program finished
 )
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpAtomic:
+		return "atomic"
+	case OpUncLoad:
+		return "unc-load"
+	case OpUncStore:
+		return "unc-store"
+	case OpFlush:
+		return "flush"
+	case OpInv:
+		return "inv"
+	case OpWork:
+		return "work"
+	case OpDone:
+		return "done"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
 
 // Op is one operation yielded by a workload program.
 type Op struct {
@@ -118,6 +144,7 @@ type Cluster struct {
 
 	l2busy event.Cycle
 	txns   map[addr.Line]*l2txn
+	seq    uint64 // transaction-ID sequence (per cluster)
 
 	onCoreDone func() // machine hook: a core's program completed
 }
@@ -125,9 +152,28 @@ type Cluster struct {
 // l2txn is an in-flight L2 miss/upgrade for one line. Operations arriving
 // for the line while it is outstanding queue as retries.
 type l2txn struct {
+	id      uint64 // transaction ID shared by every retransmission; 0 = untracked
+	kind    msg.ReqKind
 	upgrade bool
+	bornAt  event.Cycle
+
+	gen      int // bumped on every (re)send; cancels stale timeout timers
+	timeouts int // timeout-driven retransmissions spent
+	nacks    int // NACK-driven retransmissions spent
+
 	retries []func()
 }
+
+// Timeout/retry defaults and NACK backoff parameters. Timeout-driven
+// retransmission is armed only under fault injection with recovery on;
+// NACK backoff is part of the base protocol (capacity NACKs can occur
+// whenever DirNackOnCapacity is set, faults or not).
+const (
+	defaultRetryTimeout = 25000 // cycles before the first retransmission
+	defaultRetryLimit   = 12    // timeout retransmissions before giving up
+	nackBackoffBase     = 64    // cycles; doubles per consecutive NACK (capped)
+	nackRetryBudget     = 100   // NACKs tolerated per transaction
+)
 
 // New builds a cluster. toHome and onCoreDone are installed by the machine.
 func New(id int, cfg config.Machine, q *event.Queue, run *stats.Run) *Cluster {
@@ -165,13 +211,28 @@ func (cl *Cluster) L2() *cache.Cache { return cl.l2 }
 // Pending reports whether the L2 has outstanding transactions.
 func (cl *Cluster) Pending() bool { return len(cl.txns) > 0 }
 
+// OldestTxn reports the cluster's longest-outstanding L2 transaction
+// (age and line), ties broken by lowest line address so the answer is
+// deterministic. ok is false when no transaction is outstanding. The
+// watchdog uses it to catch a single wedged transaction even while
+// other cores keep completing operations (e.g. spin-waiting pollers).
+func (cl *Cluster) OldestTxn(now event.Cycle) (age event.Cycle, line addr.Line, ok bool) {
+	for l, t := range cl.txns {
+		a := now - t.bornAt
+		if !ok || a > age || (a == age && l < line) {
+			age, line, ok = a, l, true
+		}
+	}
+	return age, line, ok
+}
+
 // StartCore launches a program on core index i. The program runs on its
 // own goroutine; the first operation is fetched when the core's first
 // issue event fires.
 func (cl *Cluster) StartCore(i int, program func(c *Core)) {
 	c := cl.Cores[i]
 	if c.started {
-		panic(fmt.Sprintf("cluster: core %d started twice", c.ID))
+		panic(simerr.Invariant(uint64(cl.q.Now()), cl.site(), 0, "core %d started twice", c.ID))
 	}
 	c.started = true
 	go func() {
@@ -208,6 +269,7 @@ func (cl *Cluster) step(c *Core) {
 // concurrently with program code, so programs may freely touch host-side
 // state (statistics, allocators, golden models) between operations.
 func (cl *Cluster) complete(c *Core, v uint32) {
+	cl.run.ForwardProgress++
 	c.respCh <- v
 	c.pending = <-c.reqCh
 	cl.q.After(1, func() { cl.step(c) })
@@ -268,7 +330,8 @@ func (cl *Cluster) execute(c *Core, o Op) {
 	case OpInv:
 		cl.inv(c, o.Addr, func() { cl.complete(c, 0) })
 	default:
-		panic(fmt.Sprintf("cluster: unknown op kind %d", o.Kind))
+		panic(simerr.Invariant(uint64(cl.q.Now()), cl.site(), uint64(addr.LineOf(o.Addr).Base()),
+			"unknown op kind %d from core %d", o.Kind, c.ID))
 	}
 }
 
@@ -294,7 +357,8 @@ func (cl *Cluster) load(c *Core, a addr.Addr, cont func(uint32)) {
 	if c.l1d.Lookup(line) != nil {
 		e := cl.l2.Peek(line)
 		if e == nil {
-			panic("cluster: L1D/L2 inclusion broken")
+			panic(simerr.Invariant(uint64(cl.q.Now()), cl.site(), uint64(line.Base()),
+				"L1D/L2 inclusion broken: line in core %d's L1D but absent from L2", c.ID))
 		}
 		if e.ValidMask&bit != 0 {
 			cont(e.Data[addr.WordIndex(a)])
@@ -374,21 +438,112 @@ func (cl *Cluster) joinTxn(line addr.Line, write bool, retry func(), kind msg.Re
 		cl.q.After(event.Cycle(cl.cfg.L2Latency), retry)
 		return
 	}
-	t := &l2txn{upgrade: write && cl.l2.Peek(line) != nil}
+	t := &l2txn{kind: kind, upgrade: write && cl.l2.Peek(line) != nil, bornAt: cl.q.Now()}
+	if kind.Retryable() {
+		cl.seq++
+		t.id = uint64(cl.ID)<<32 | cl.seq // seq starts at 1, so IDs are nonzero
+	}
 	t.retries = append(t.retries, retry)
 	cl.txns[line] = t
 	if e := cl.l2.Peek(line); e != nil {
 		e.Pinned = true
 	}
-	cl.send(msg.Req{Kind: kind, Line: line}, func(resp msg.Resp) {
-		cl.trace("install line=%#x grant=%v", uint64(line), resp.Grant)
-		cl.install(line, resp)
-		delete(cl.txns, line)
-		for _, r := range t.retries {
-			cl.q.After(0, r)
+	cl.sendAttempt(line, t)
+}
+
+// sendAttempt transmits one (re)try of the transaction's request and arms
+// its retransmission timer. Every attempt carries the same transaction ID,
+// so the home deduplicates whatever subset of attempts survives the
+// network.
+func (cl *Cluster) sendAttempt(line addr.Line, t *l2txn) {
+	t.gen++
+	cl.send(msg.Req{Kind: t.kind, Line: line, ID: t.id}, func(resp msg.Resp) {
+		cl.handleResp(line, t, resp)
+	})
+	cl.armTimeout(line, t, t.gen)
+}
+
+// handleResp settles (or retries) a transaction when a response arrives.
+func (cl *Cluster) handleResp(line addr.Line, t *l2txn, resp msg.Resp) {
+	if cl.txns[line] != t {
+		// A late response to an attempt of an already-settled transaction
+		// (the home normally dedups these away; defense in depth).
+		cl.run.StaleResponses++
+		cl.trace("stale-resp line=%#x grant=%v", uint64(line), resp.Grant)
+		return
+	}
+	if resp.Grant == msg.GrantNack {
+		cl.nackBackoff(line, t)
+		return
+	}
+	cl.trace("install line=%#x grant=%v", uint64(line), resp.Grant)
+	cl.install(line, resp)
+	delete(cl.txns, line)
+	for _, r := range t.retries {
+		cl.q.After(0, r)
+	}
+}
+
+// nackBackoff schedules a retransmission after a directory NACK, with
+// capped exponential backoff so contending clusters spread out.
+func (cl *Cluster) nackBackoff(line addr.Line, t *l2txn) {
+	t.nacks++
+	if t.nacks > nackRetryBudget {
+		panic(simerr.New(simerr.ErrRetryExhausted, uint64(cl.q.Now()), cl.site(), uint64(line.Base()),
+			"%v NACKed %d times since cycle %d", t.kind, t.nacks, t.bornAt))
+	}
+	cl.run.NackRetries++
+	shift := t.nacks - 1
+	if shift > 6 {
+		shift = 6
+	}
+	delay := event.Cycle(nackBackoffBase) << uint(shift)
+	cl.trace("nack line=%#x attempt=%d backoff=%d", uint64(line), t.nacks, delay)
+	gen := t.gen
+	cl.q.After(delay, func() {
+		if cl.txns[line] != t || t.gen != gen {
+			return
 		}
+		cl.sendAttempt(line, t)
 	})
 }
+
+// armTimeout schedules the transaction's retransmission check. A fired
+// timer whose generation is stale (the transaction settled or was already
+// retransmitted) does nothing.
+func (cl *Cluster) armTimeout(line addr.Line, t *l2txn, gen int) {
+	if t.id == 0 || !(cl.cfg.Faults.Enabled && cl.cfg.Faults.Recovery) {
+		return
+	}
+	timeout := event.Cycle(cl.cfg.L2RetryTimeout)
+	if timeout == 0 {
+		timeout = defaultRetryTimeout
+	}
+	limit := cl.cfg.L2RetryLimit
+	if limit == 0 {
+		limit = defaultRetryLimit
+	}
+	shift := t.timeouts
+	if shift > 5 {
+		shift = 5
+	}
+	cl.q.After(timeout<<uint(shift), func() {
+		if cl.txns[line] != t || t.gen != gen {
+			return
+		}
+		t.timeouts++
+		if t.timeouts > limit {
+			panic(simerr.New(simerr.ErrRetryExhausted, uint64(cl.q.Now()), cl.site(), uint64(line.Base()),
+				"%v outstanding since cycle %d after %d timeout retransmissions", t.kind, t.bornAt, t.timeouts-1))
+		}
+		cl.run.L2Retries++
+		cl.trace("timeout-retry line=%#x attempt=%d", uint64(line), t.timeouts)
+		cl.sendAttempt(line, t)
+	})
+}
+
+// site names this cluster in diagnostics.
+func (cl *Cluster) site() string { return fmt.Sprintf("cl%d", cl.ID) }
 
 // install applies a fill/upgrade response to the L2.
 func (cl *Cluster) install(line addr.Line, resp msg.Resp) {
@@ -397,7 +552,8 @@ func (cl *Cluster) install(line addr.Line, resp msg.Resp) {
 		// Fresh fill (or the line was invalidated while upgrading and the
 		// home sent data).
 		if !resp.HasData {
-			panic("cluster: dataless response for absent line")
+			panic(simerr.Invariant(uint64(cl.q.Now()), cl.site(), uint64(line.Base()),
+				"dataless %v response for absent line", resp.Grant))
 		}
 		var victim cache.Entry
 		var evicted bool
@@ -611,8 +767,35 @@ func (cl *Cluster) HandleProbe(p msg.Probe, reply func(msg.ProbeReply)) {
 		reply(base)
 
 	default:
-		panic(fmt.Sprintf("cluster: unknown probe kind %v", p.Kind))
+		panic(simerr.Invariant(uint64(cl.q.Now()), cl.site(), uint64(p.Line.Base()),
+			"unknown probe kind %v", p.Kind))
 	}
+}
+
+// StuckReport describes the cluster's unfinished work — outstanding L2
+// transactions and cores blocked mid-operation — for deadlock diagnostics.
+// Returns nil when nothing is outstanding. Lines are sorted so the report
+// is deterministic.
+func (cl *Cluster) StuckReport(now event.Cycle) []string {
+	var out []string
+	lines := make([]addr.Line, 0, len(cl.txns))
+	for line := range cl.txns {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		t := cl.txns[line]
+		out = append(out, fmt.Sprintf(
+			"cl%d: %v line=%#x outstanding %d cycles (id=%#x, %d waiters, %d timeouts, %d nacks)",
+			cl.ID, t.kind, uint64(line.Base()), now-t.bornAt, t.id, len(t.retries), t.timeouts, t.nacks))
+	}
+	for _, c := range cl.Cores {
+		if c.started && !c.done && c.pending.Kind != OpDone {
+			out = append(out, fmt.Sprintf("cl%d: core %d blocked on %v addr=%#x",
+				cl.ID, c.ID, c.pending.Kind, uint64(c.pending.Addr)))
+		}
+	}
+	return out
 }
 
 // DrainDirty force-writes every dirty word in the L2 to the backing store

@@ -5,10 +5,10 @@
 package config
 
 import (
-	"errors"
 	"fmt"
 
 	"cohesion/internal/addr"
+	"cohesion/internal/simerr"
 )
 
 // Mode selects the memory model for a run (the paper's four design points).
@@ -117,6 +117,34 @@ type Machine struct {
 	NetJitter     int
 	NetJitterSeed int64
 
+	// Faults configures deterministic fault injection at the interconnect
+	// and directory layers (drops, duplicate deliveries, delay spikes,
+	// capacity NACKs). Zero value = no faults.
+	Faults FaultPlan
+
+	// WatchdogCycles is the forward-progress window: if no operation
+	// completes for this many cycles while cores are still active, the run
+	// fails with a structured deadlock diagnostic instead of hanging.
+	// 0 selects the default window; negative disables the watchdog.
+	WatchdogCycles int64
+
+	// L2RetryTimeout is the cycle count after which an outstanding L2
+	// request is retransmitted (0 = default). Timeout-driven retransmission
+	// is armed only when Faults.Enabled && Faults.Recovery; spurious
+	// retransmissions are harmless because the home deduplicates by
+	// transaction ID.
+	L2RetryTimeout int
+
+	// L2RetryLimit bounds timeout retransmissions per transaction
+	// (0 = default); exhaustion fails the run with ErrRetryExhausted.
+	L2RetryLimit int
+
+	// DirNackOnCapacity makes a home bank NACK a request when every
+	// candidate directory way is pinned by in-flight transactions, instead
+	// of the default silent internal retry loop. Requesters back off and
+	// retransmit.
+	DirNackOnCapacity bool
+
 	// TrapOnRace makes the directory signal an exception with the
 	// transition acknowledgement when a SW-to-HW capture finds the same
 	// word dirty in multiple L2s (paper §3.6: "For debugging, it may be
@@ -129,6 +157,67 @@ type Machine struct {
 
 	// Label names the configuration in reports.
 	Label string
+}
+
+// FaultPlan configures the deterministic fault-injection layer. All
+// probabilities are in permille (0..1000) and are drawn from a PRNG
+// seeded by Seed, so the same plan on the same workload reproduces the
+// same faults bit-for-bit.
+//
+// Drops and duplicates apply only to retryable requests (reads, writes,
+// instruction fetches — see msg.ReqKind.Retryable); delay spikes apply to
+// every link traversal as extra occupancy, which preserves per-link FIFO
+// ordering exactly like NetJitter does.
+type FaultPlan struct {
+	// Enabled turns the fault layer on.
+	Enabled bool
+
+	// Recovery arms the L2 timeout/retransmission machinery. With it off,
+	// an injected drop wedges the requester and the watchdog reports the
+	// deadlock — useful for exercising the diagnostic path.
+	Recovery bool
+
+	// Seed seeds the fault plan's PRNG.
+	Seed int64
+
+	// DropPermille is the chance a retryable request vanishes in flight
+	// (it still occupies its links; the receiver never sees it).
+	DropPermille int
+
+	// DupPermille is the chance a retryable request is delivered twice.
+	DupPermille int
+
+	// DelayPermille is the chance one link traversal suffers a delay
+	// spike of 1..DelayMax extra occupancy cycles.
+	DelayPermille int
+
+	// DelayMax bounds the delay spike (cycles).
+	DelayMax int
+
+	// NackPermille is the chance the home NACKs a directory allocation,
+	// simulating capacity pressure; the requester backs off and retries.
+	NackPermille int
+
+	// MaxDrops and MaxDups bound the total injected faults of each kind
+	// (0 = a generous default), keeping plans from starving a retry budget.
+	MaxDrops int
+	MaxDups  int
+}
+
+// DefaultFaultPlan returns a plan with recovery enabled and moderate
+// fault rates: ~2% drops, ~2% duplicates, ~1% delay spikes up to 200
+// cycles, ~0.5% allocation NACKs.
+func DefaultFaultPlan(seed int64) FaultPlan {
+	return FaultPlan{
+		Enabled:       true,
+		Recovery:      true,
+		Seed:          seed,
+		DropPermille:  20,
+		DupPermille:   20,
+		DelayPermille: 10,
+		DelayMax:      200,
+		NackPermille:  5,
+	}
 }
 
 // Table3 returns the paper's full 1024-core baseline configuration
@@ -227,21 +316,22 @@ func (m Machine) WithDirectory(kind DirKind, entriesPerBank, assoc int) Machine 
 	return m
 }
 
-// Validate checks structural invariants the simulator depends on.
+// Validate checks structural invariants the simulator depends on. All
+// rejections wrap simerr.ErrConfig.
 func (m Machine) Validate() error {
 	switch {
 	case m.Clusters < 1:
-		return errors.New("config: need at least one cluster")
+		return simerr.Config("need at least one cluster")
 	case m.CoresPerCluster < 1:
-		return errors.New("config: need at least one core per cluster")
+		return simerr.Config("need at least one core per cluster")
 	case m.L3Banks < 1:
-		return errors.New("config: need at least one L3 bank")
+		return simerr.Config("need at least one L3 bank")
 	case m.DRAMChannels < 1:
-		return errors.New("config: need at least one DRAM channel")
+		return simerr.Config("need at least one DRAM channel")
 	case m.L3Banks%m.DRAMChannels != 0:
-		return fmt.Errorf("config: L3 banks (%d) must be a multiple of DRAM channels (%d)", m.L3Banks, m.DRAMChannels)
+		return simerr.Config("L3 banks (%d) must be a multiple of DRAM channels (%d)", m.L3Banks, m.DRAMChannels)
 	case m.L3Banks&(m.L3Banks-1) != 0:
-		return fmt.Errorf("config: L3 banks (%d) must be a power of two for address striding", m.L3Banks)
+		return simerr.Config("L3 banks (%d) must be a power of two for address striding", m.L3Banks)
 	}
 	for _, c := range []struct {
 		name        string
@@ -254,26 +344,53 @@ func (m Machine) Validate() error {
 	} {
 		lines := c.size / addr.LineBytes
 		if c.size%addr.LineBytes != 0 || lines < c.assoc || c.assoc < 1 || lines%c.assoc != 0 {
-			return fmt.Errorf("config: bad %s geometry: %d bytes, %d-way", c.name, c.size, c.assoc)
+			return simerr.Config("bad %s geometry: %d bytes, %d-way", c.name, c.size, c.assoc)
 		}
 	}
 	if m.Mode != SWcc && m.Directory == DirNone {
-		return fmt.Errorf("config: mode %v requires a directory", m.Mode)
+		return simerr.Config("mode %v requires a directory", m.Mode)
 	}
 	if m.Mode == SWcc && m.Directory != DirNone {
-		return errors.New("config: SWcc mode must not configure a directory")
+		return simerr.Config("SWcc mode must not configure a directory")
 	}
 	if (m.Directory == DirSparse || m.Directory == DirLimited4B) && m.DirEntriesPerBank < 1 {
-		return errors.New("config: sparse/limited directory needs DirEntriesPerBank >= 1")
+		return simerr.Config("sparse/limited directory needs DirEntriesPerBank >= 1")
 	}
 	if m.DirAssoc > 0 && m.DirEntriesPerBank%m.DirAssoc != 0 {
-		return fmt.Errorf("config: directory entries (%d) must be a multiple of associativity (%d)", m.DirEntriesPerBank, m.DirAssoc)
+		return simerr.Config("directory entries (%d) must be a multiple of associativity (%d)", m.DirEntriesPerBank, m.DirAssoc)
 	}
 	if m.StackBytesPerCore < addr.LineBytes {
-		return errors.New("config: stacks must hold at least one line")
+		return simerr.Config("stacks must hold at least one line")
 	}
 	if m.L2MSHRs < 1 {
-		return errors.New("config: need at least one L2 MSHR")
+		return simerr.Config("need at least one L2 MSHR")
+	}
+	if m.L2RetryTimeout < 0 || m.L2RetryLimit < 0 {
+		return simerr.Config("L2 retry knobs must be non-negative")
+	}
+	if f := m.Faults; f.Enabled {
+		for _, p := range []struct {
+			name string
+			v    int
+		}{
+			{"DropPermille", f.DropPermille},
+			{"DupPermille", f.DupPermille},
+			{"DelayPermille", f.DelayPermille},
+			{"NackPermille", f.NackPermille},
+		} {
+			if p.v < 0 || p.v > 1000 {
+				return simerr.Config("fault %s = %d outside [0, 1000]", p.name, p.v)
+			}
+		}
+		if f.DelayMax < 0 || f.MaxDrops < 0 || f.MaxDups < 0 {
+			return simerr.Config("fault bounds must be non-negative")
+		}
+		if f.DelayPermille > 0 && f.DelayMax == 0 {
+			return simerr.Config("DelayPermille set with DelayMax = 0")
+		}
+		if f.DropPermille > 0 && !f.Recovery && m.WatchdogCycles < 0 {
+			return simerr.Config("drops without recovery need the watchdog to detect the wedge")
+		}
 	}
 	return nil
 }

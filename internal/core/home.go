@@ -21,6 +21,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"cohesion/internal/addr"
 	"cohesion/internal/cache"
@@ -28,8 +30,10 @@ import (
 	"cohesion/internal/directory"
 	"cohesion/internal/dram"
 	"cohesion/internal/event"
+	"cohesion/internal/fault"
 	"cohesion/internal/msg"
 	"cohesion/internal/region"
+	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
 )
 
@@ -52,12 +56,25 @@ type Home struct {
 
 	probe ProbeFunc
 
+	// faults, when non-nil, injects directory-allocation NACKs (the drop/
+	// duplicate/delay decisions live at the machine and network layers).
+	faults *fault.Plan
+
 	// busyUntil models the single L3/directory port (Table 3: one R/W
 	// port per bank): request processing serializes through it.
 	busyUntil event.Cycle
 
 	txns    map[addr.Line]*txn
 	waiting map[addr.Line][]waiter
+
+	// serviced/prevServiced record the transaction IDs this bank has already
+	// granted (two generations, rotated at servicedGenSize, so the set stays
+	// bounded). A request whose ID is present is a duplicate delivery or a
+	// spurious retransmission whose original succeeded; it is dropped without
+	// touching directory state — re-servicing a write whose requester has
+	// since evicted the line would fabricate a stale Modified entry.
+	serviced     map[uint64]struct{}
+	prevServiced map[uint64]struct{}
 }
 
 // portOccupancy is how long one request occupies the bank's port.
@@ -66,6 +83,11 @@ const portOccupancy = 2
 // retryDelay is the backoff used when a flow must wait for an unrelated
 // in-flight transaction (pinned directory set, busy transition target).
 const retryDelay = 8
+
+// servicedGenSize bounds each generation of the serviced-ID set. Rotation
+// is safe because the port occupancy means a bank cannot grant this many
+// transactions within any plausible retransmission window.
+const servicedGenSize = 1 << 16
 
 type waiter struct {
 	req   msg.Req
@@ -84,22 +106,55 @@ type txn struct {
 // additionally nil when the coarse-table ablation is off).
 func NewHome(bank int, cfg config.Machine, q *event.Queue, run *stats.Run,
 	store *dram.Store, mem *dram.Controller, dir directory.Directory,
-	coarse *region.CoarseTable, fine *region.FineTable, probe ProbeFunc) *Home {
+	coarse *region.CoarseTable, fine *region.FineTable, probe ProbeFunc,
+	faults *fault.Plan) *Home {
 	return &Home{
-		bank:    bank,
-		cfg:     cfg,
-		q:       q,
-		run:     run,
-		store:   store,
-		mem:     mem,
-		dir:     dir,
-		l3:      cache.New(cfg.L3BankSize(), cfg.L3Assoc),
-		coarse:  coarse,
-		fine:    fine,
-		probe:   probe,
-		txns:    make(map[addr.Line]*txn),
-		waiting: make(map[addr.Line][]waiter),
+		bank:     bank,
+		cfg:      cfg,
+		q:        q,
+		run:      run,
+		store:    store,
+		mem:      mem,
+		dir:      dir,
+		l3:       cache.New(cfg.L3BankSize(), cfg.L3Assoc),
+		coarse:   coarse,
+		fine:     fine,
+		probe:    probe,
+		faults:   faults,
+		txns:     make(map[addr.Line]*txn),
+		waiting:  make(map[addr.Line][]waiter),
+		serviced: make(map[uint64]struct{}),
 	}
+}
+
+// site names this bank in diagnostics and traces.
+func (h *Home) site() string { return fmt.Sprintf("home%d", h.bank) }
+
+// alreadyServiced reports whether a transaction ID has been granted.
+func (h *Home) alreadyServiced(id uint64) bool {
+	if _, ok := h.serviced[id]; ok {
+		return true
+	}
+	_, ok := h.prevServiced[id]
+	return ok
+}
+
+// markServiced records a granted transaction ID, rotating generations to
+// keep the set bounded.
+func (h *Home) markServiced(id uint64) {
+	if len(h.serviced) >= servicedGenSize {
+		h.prevServiced = h.serviced
+		h.serviced = make(map[uint64]struct{}, servicedGenSize)
+	}
+	h.serviced[id] = struct{}{}
+}
+
+// dropDup discards a duplicate delivery (or spurious retransmission whose
+// original already succeeded). No reply is sent: the requester either has
+// its grant already or will discard the extra response as stale.
+func (h *Home) dropDup(req msg.Req) {
+	h.run.DupsDropped++
+	h.trace("dup-drop %v line=%#x cluster=%d id=%#x", req.Kind, uint64(req.Line), req.Cluster, req.ID)
 }
 
 // Directory exposes the bank's directory for occupancy sampling and
@@ -109,6 +164,55 @@ func (h *Home) Directory() directory.Directory { return h.dir }
 // Pending reports whether the bank has in-flight transactions or queued
 // requests (used by the machine's quiescence check).
 func (h *Home) Pending() bool { return len(h.txns) > 0 || len(h.waiting) > 0 }
+
+// StuckReport describes the bank's in-flight and queued transactions —
+// line, waiter count, and the directory's view of the line — for deadlock
+// diagnostics. Returns nil when idle. Lines are sorted so the report is
+// deterministic.
+func (h *Home) StuckReport(now event.Cycle) []string {
+	if !h.Pending() {
+		return nil
+	}
+	seen := make(map[addr.Line]bool, len(h.txns)+len(h.waiting))
+	var lines []addr.Line
+	for line := range h.txns {
+		if !seen[line] {
+			seen[line] = true
+			lines = append(lines, line)
+		}
+	}
+	for line := range h.waiting {
+		if !seen[line] {
+			seen[line] = true
+			lines = append(lines, line)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	out := make([]string, 0, len(lines))
+	for _, line := range lines {
+		var b strings.Builder
+		fmt.Fprintf(&b, "home%d: line=%#x", h.bank, uint64(line.Base()))
+		if t := h.txns[line]; t != nil {
+			b.WriteString(" txn in flight")
+			if t.onWB != nil {
+				b.WriteString(" (awaiting writeback)")
+			}
+		}
+		if n := len(h.waiting[line]); n > 0 {
+			fmt.Fprintf(&b, " %d queued", n)
+		}
+		if h.dir != nil {
+			if e := h.dir.Lookup(line); e != nil {
+				fmt.Fprintf(&b, " dir{state=%v owner=%d sharers=%d pinned=%v}",
+					e.State, e.Owner, e.Sharers.Count(), e.Pinned)
+			} else {
+				b.WriteString(" dir{no entry}")
+			}
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
 
 // HandleReq is the entry point for a request arriving from the network.
 // reply, when non-nil, routes the response back to the requesting L2.
@@ -145,6 +249,10 @@ func (h *Home) process(req msg.Req, reply func(msg.Resp)) {
 	default:
 		// Reads, writes, instruction fetches, atomics, and uncached ops all
 		// serialize through the line's transaction slot.
+		if req.ID != 0 && h.alreadyServiced(req.ID) {
+			h.dropDup(req)
+			return
+		}
 		if h.txns[req.Line] != nil {
 			h.waiting[req.Line] = append(h.waiting[req.Line], waiter{req, reply})
 			return
@@ -157,13 +265,26 @@ func (h *Home) process(req msg.Req, reply func(msg.Resp)) {
 // must have checked that no transaction is in flight.
 func (h *Home) start(req msg.Req, reply func(msg.Resp)) {
 	line := req.Line
+	if req.ID != 0 && h.alreadyServiced(req.ID) {
+		// A duplicate that queued behind its own original: the original has
+		// completed (and marked the ID) by the time the queue drains here.
+		h.dropDup(req)
+		h.drainWaiting(line)
+		return
+	}
 	if h.txns[line] != nil {
-		panic(fmt.Sprintf("core: transaction collision on line %#x", uint64(line)))
+		panic(simerr.Invariant(uint64(h.q.Now()), h.site(), uint64(line.Base()),
+			"transaction collision servicing %v from cluster %d", req.Kind, req.Cluster))
 	}
 	h.txns[line] = &txn{}
 	h.trace("start %v line=%#x cluster=%d", req.Kind, uint64(line), req.Cluster)
 	done := func(resp msg.Resp) {
 		h.trace("done %v line=%#x cluster=%d grant=%v", req.Kind, uint64(line), req.Cluster, resp.Grant)
+		if req.ID != 0 && resp.Grant != msg.GrantNack {
+			// NACKed transactions are NOT marked: the requester will
+			// retransmit the same ID and must be serviced then.
+			h.markServiced(req.ID)
+		}
 		// Send the response BEFORE retiring the transaction: retiring
 		// drains the next queued request, which may immediately probe the
 		// cluster just granted — the grant must win the (FIFO) link or the
@@ -183,7 +304,8 @@ func (h *Home) start(req msg.Req, reply func(msg.Resp)) {
 			done(msg.Resp{Grant: msg.GrantNone, Value: h.store.ReadWord(req.Addr)})
 		})
 	default:
-		panic(fmt.Sprintf("core: unhandled request kind %v", req.Kind))
+		panic(simerr.Invariant(uint64(h.q.Now()), h.site(), uint64(line.Base()),
+			"unhandled request kind %v from cluster %d", req.Kind, req.Cluster))
 	}
 }
 
@@ -196,6 +318,12 @@ func (h *Home) completeTxn(line addr.Line) {
 		}
 	}
 	delete(h.txns, line)
+	h.drainWaiting(line)
+}
+
+// drainWaiting starts the next request queued on the line, if any. The
+// line's transaction slot must be free.
+func (h *Home) drainWaiting(line addr.Line) {
 	ws := h.waiting[line]
 	if len(ws) == 0 {
 		delete(h.waiting, line)
@@ -272,7 +400,21 @@ func (h *Home) dispatch(req msg.Req, done func(msg.Resp)) {
 // grantFresh allocates a directory entry for an untracked HWcc line and
 // grants the request.
 func (h *Home) grantFresh(req msg.Req, done func(msg.Resp)) {
-	h.allocEntry(req.Line, func(e *directory.Entry) {
+	if h.faults != nil && req.ID != 0 && h.faults.NackAlloc() {
+		h.run.NacksSent++
+		h.trace("nack (injected) %v line=%#x cluster=%d", req.Kind, uint64(req.Line), req.Cluster)
+		done(msg.Resp{Grant: msg.GrantNack})
+		return
+	}
+	var nack func()
+	if h.cfg.DirNackOnCapacity && req.ID != 0 {
+		nack = func() {
+			h.run.NacksSent++
+			h.trace("nack (capacity) %v line=%#x cluster=%d", req.Kind, uint64(req.Line), req.Cluster)
+			done(msg.Resp{Grant: msg.GrantNack})
+		}
+	}
+	h.allocEntry(req.Line, nack, func(e *directory.Entry) {
 		grant := msg.GrantShared
 		if req.Kind == msg.ReqWrite {
 			e.State = directory.Modified
@@ -309,8 +451,17 @@ func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entr
 
 	case msg.ReqWrite:
 		if e.State == directory.Modified {
-			// Owned dirty by another cluster (link FIFO ordering rules out
-			// a cluster racing its own ownership).
+			if e.Owner == req.Cluster {
+				// The requester already owns the line: a duplicate or
+				// retransmission that slipped past dedup. Re-grant in place —
+				// recalling would probe the requester for its own writeback.
+				h.trace("re-grant M line=%#x cluster=%d", uint64(req.Line), req.Cluster)
+				h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
+					done(msg.Resp{Grant: msg.GrantModified, HasData: true, Data: data})
+				})
+				return
+			}
+			// Owned dirty by another cluster.
 			h.recallEntry(req.Line, e, func() {
 				h.grantFresh(req, done)
 			})
@@ -349,7 +500,8 @@ func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entr
 		}
 
 	default:
-		panic("core: dispatchHWHit on non-RWI request")
+		panic(simerr.Invariant(uint64(h.q.Now()), h.site(), uint64(req.Line.Base()),
+			"dispatchHWHit on non-RWI request %v", req.Kind))
 	}
 }
 
@@ -454,8 +606,10 @@ func (h *Home) absorbReplyData(line addr.Line, rep msg.ProbeReply) {
 // allocEntry obtains a directory entry for line, evicting a victim entry
 // (invalidating its sharers — the directory is inclusive of the L2s) when
 // the set is full. The fresh entry is pinned; the caller's txn completion
-// unpins it.
-func (h *Home) allocEntry(line addr.Line, cont func(*directory.Entry)) {
+// unpins it. nack, when non-nil, is invoked instead of stalling when every
+// candidate way is pinned by in-flight transactions (capacity NACK); when
+// nil the allocation silently retries until a way drains.
+func (h *Home) allocEntry(line addr.Line, nack func(), cont func(*directory.Entry)) {
 	if h.dir.HasRoom(line) {
 		e := h.dir.Allocate(line)
 		e.Pinned = true
@@ -464,23 +618,27 @@ func (h *Home) allocEntry(line addr.Line, cont func(*directory.Entry)) {
 	}
 	v := h.dir.Victim(line)
 	if v == nil {
-		// Every candidate way is pinned by an in-flight transaction;
-		// retry once one drains.
-		h.q.After(retryDelay, func() { h.allocEntry(line, cont) })
+		// Every candidate way is pinned by an in-flight transaction.
+		if nack != nil {
+			nack()
+			return
+		}
+		// Retry once one drains.
+		h.q.After(retryDelay, func() { h.allocEntry(line, nack, cont) })
 		return
 	}
 	victimLine := v.Line
 	if h.txns[victimLine] != nil {
 		// An unpinned entry whose line has a transaction should not exist,
 		// but never race it: back off and retry.
-		h.q.After(retryDelay, func() { h.allocEntry(line, cont) })
+		h.q.After(retryDelay, func() { h.allocEntry(line, nack, cont) })
 		return
 	}
 	h.run.DirEvictions++
 	h.txns[victimLine] = &txn{}
 	h.recallEntry(victimLine, v, func() {
 		h.completeTxn(victimLine)
-		h.allocEntry(line, cont)
+		h.allocEntry(line, nack, cont)
 	})
 }
 

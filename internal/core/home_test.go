@@ -94,7 +94,7 @@ func newHarness(t *testing.T, mode config.Mode, kind config.DirKind, entries, as
 			}
 		}
 	}
-	h.home = NewHome(0, cfg, h.q, h.run, h.store, mem, dir, coarse, fine, probe)
+	h.home = NewHome(0, cfg, h.q, h.run, h.store, mem, dir, coarse, fine, probe, nil)
 	return h
 }
 

@@ -160,7 +160,7 @@ func (h *Home) captureDecide(line addr.Line, replies []msg.ProbeReply, cont func
 	case len(dirty) == 0:
 		// Clean copies only (Case 2b): they already cleared their
 		// incoherent bits; record them as hardware sharers.
-		h.allocEntry(line, func(e *directory.Entry) {
+		h.allocEntry(line, nil, func(e *directory.Entry) {
 			e.State = directory.Shared
 			for _, rep := range clean {
 				directory.AddSharer(h.dir, e, rep.Cluster)
@@ -171,7 +171,7 @@ func (h *Home) captureDecide(line addr.Line, replies []msg.ProbeReply, cont func
 	case len(dirty) == 1 && len(clean) == 0:
 		// Single dirty writer (Case 4b): upgrade in place, no writeback.
 		owner := dirty[0].Cluster
-		h.allocEntry(line, func(e *directory.Entry) {
+		h.allocEntry(line, nil, func(e *directory.Entry) {
 			e.State = directory.Modified
 			e.Owner = owner
 			directory.AddSharer(h.dir, e, owner)

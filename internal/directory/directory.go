@@ -20,10 +20,10 @@
 package directory
 
 import (
-	"fmt"
 	"math/bits"
 
 	"cohesion/internal/addr"
+	"cohesion/internal/simerr"
 )
 
 // MaxClusters bounds the sharer bitset width (the Table 3 machine has 128).
@@ -167,7 +167,9 @@ func (d *infinite) Limited() bool                { return false }
 
 func (d *infinite) Allocate(line addr.Line) *Entry {
 	if d.entries[line] != nil {
-		panic(fmt.Sprintf("directory: Allocate of resident line %#x", uint64(line)))
+		// The cycle is unknown at this layer; machine.Simulate fills it in
+		// when it recovers the panic.
+		panic(simerr.Invariant(0, "directory", uint64(line.Base()), "Allocate of resident line"))
 	}
 	e := &Entry{Line: line}
 	d.entries[line] = e
@@ -206,13 +208,13 @@ type sparse struct {
 // entry count. assoc 0 means fully associative (one set).
 func NewSparse(entries, assoc int, limited bool) Directory {
 	if entries < 1 {
-		panic("directory: need at least one entry")
+		panic(simerr.Config("directory needs at least one entry"))
 	}
 	if assoc <= 0 || assoc > entries {
 		assoc = entries
 	}
 	if entries%assoc != 0 {
-		panic(fmt.Sprintf("directory: entries %d not a multiple of assoc %d", entries, assoc))
+		panic(simerr.Config("directory entries %d not a multiple of assoc %d", entries, assoc))
 	}
 	nsets := entries / assoc
 	d := &sparse{sets: make([][]Entry, nsets), ways: assoc, limited: limited}
@@ -274,14 +276,14 @@ func (d *sparse) Allocate(line addr.Line) *Entry {
 	for i := range set {
 		e := &set[i]
 		if e.lastUse != 0 && e.Line == line {
-			panic(fmt.Sprintf("directory: Allocate of resident line %#x", uint64(line)))
+			panic(simerr.Invariant(0, "directory", uint64(line.Base()), "Allocate of resident line"))
 		}
 		if e.lastUse == 0 && slot == nil {
 			slot = e
 		}
 	}
 	if slot == nil {
-		panic(fmt.Sprintf("directory: no room for line %#x", uint64(line)))
+		panic(simerr.Invariant(0, "directory", uint64(line.Base()), "Allocate with no room in set"))
 	}
 	d.tick++
 	*slot = Entry{Line: line, lastUse: d.tick}

@@ -11,6 +11,8 @@
 package dram
 
 import (
+	"sort"
+
 	"cohesion/internal/addr"
 	"cohesion/internal/event"
 	"cohesion/internal/stats"
@@ -77,6 +79,33 @@ func (s *Store) MergeLine(line addr.Line, mask uint8, data [addr.WordsPerLine]ui
 
 // LinesTouched reports how many distinct lines have ever been written.
 func (s *Store) LinesTouched() int { return len(s.lines) }
+
+// Fingerprint digests the full memory image (FNV-1a over lines in address
+// order), independent of map iteration order: equal images yield equal
+// fingerprints. Determinism tests use it to compare whole runs cheaply.
+func (s *Store) Fingerprint() uint64 {
+	lines := make([]addr.Line, 0, len(s.lines))
+	for line := range s.lines {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for _, line := range lines {
+		mix(uint64(line))
+		for _, w := range s.lines[line] {
+			mix(uint64(w))
+		}
+	}
+	return h
+}
 
 // Device geometry: a 2 KB row (the paper's footnote strides the address
 // space across controllers at DRAM-row granularity, addr[10..0] within a

@@ -1,0 +1,125 @@
+// Package fault implements the deterministic fault-injection layer: a
+// per-seed plan of message drops, duplicate deliveries, link delay spikes,
+// and directory-allocation NACKs, injected at the interconnect and
+// directory layers of the machine.
+//
+// Determinism: the plan draws every decision from one PRNG seeded by the
+// configuration, and the simulation consumes decisions in a fixed order
+// (the event engine is single-threaded and deterministic), so a given
+// (workload, machine, fault seed) triple reproduces the exact same fault
+// schedule bit-for-bit.
+//
+// Safety: the fault model is chosen so that recovery restores the
+// fault-free architectural outcome.
+//
+//   - Drops and duplicates apply only to retryable requests (reads,
+//     writes, instruction fetches). A dropped request was never seen by
+//     the home, so its retransmission is indistinguishable from the
+//     original; a duplicated or spuriously retransmitted request is
+//     dropped at the home by transaction-ID dedup, so directory state is
+//     mutated at most once per transaction. Data-bearing writebacks and
+//     non-idempotent atomics are never dropped or duplicated.
+//   - Delay spikes are applied as extra link occupancy, exactly like
+//     configured network jitter, so per-link point-to-point FIFO ordering
+//     — which the coherence protocol relies on — is preserved; only
+//     cross-link interleavings change.
+//   - NACKs refuse a directory allocation before any state changes; the
+//     requester backs off and retransmits.
+package fault
+
+import (
+	"math/rand"
+
+	"cohesion/internal/config"
+	"cohesion/internal/event"
+	"cohesion/internal/stats"
+)
+
+// Verdict is the plan's decision for one retryable request delivery.
+type Verdict uint8
+
+const (
+	// Deliver: pass the message through unchanged.
+	Deliver Verdict = iota
+	// Drop: the message occupies its links but never arrives.
+	Drop
+	// Duplicate: the message is delivered twice.
+	Duplicate
+)
+
+// Default budgets for plans that leave MaxDrops/MaxDups zero: generous
+// enough to never matter on test-scale runs, bounded so an adversarial
+// permille cannot starve a retry budget forever.
+const defaultBudget = 1 << 20
+
+// Plan is one run's fault schedule. It is not safe for concurrent use;
+// the simulation engine is single-threaded.
+type Plan struct {
+	cfg config.FaultPlan
+	rng *rand.Rand
+	run *stats.Run
+
+	drops, dups int
+}
+
+// NewPlan builds the plan for a run, recording injected-fault counts into
+// run. Returns nil when the configuration has faults disabled.
+func NewPlan(cfg config.FaultPlan, run *stats.Run) *Plan {
+	if !cfg.Enabled {
+		return nil
+	}
+	if cfg.MaxDrops == 0 {
+		cfg.MaxDrops = defaultBudget
+	}
+	if cfg.MaxDups == 0 {
+		cfg.MaxDups = defaultBudget
+	}
+	return &Plan{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), run: run}
+}
+
+// Recovery reports whether the plan expects the L2 retransmission
+// machinery to be armed.
+func (p *Plan) Recovery() bool { return p.cfg.Recovery }
+
+// RequestVerdict decides the fate of one retryable request delivery.
+func (p *Plan) RequestVerdict() Verdict {
+	roll := p.rng.Intn(1000)
+	if roll < p.cfg.DropPermille {
+		if p.drops < p.cfg.MaxDrops {
+			p.drops++
+			p.run.FaultDrops++
+			return Drop
+		}
+		return Deliver
+	}
+	if roll < p.cfg.DropPermille+p.cfg.DupPermille {
+		if p.dups < p.cfg.MaxDups {
+			p.dups++
+			p.run.FaultDups++
+			return Duplicate
+		}
+	}
+	return Deliver
+}
+
+// DelaySpike returns the extra occupancy for one link traversal (usually
+// zero). Applied as occupancy, it preserves per-link FIFO ordering.
+func (p *Plan) DelaySpike() event.Cycle {
+	if p.cfg.DelayPermille == 0 {
+		return 0
+	}
+	if p.rng.Intn(1000) >= p.cfg.DelayPermille {
+		return 0
+	}
+	p.run.FaultDelays++
+	return event.Cycle(1 + p.rng.Intn(p.cfg.DelayMax))
+}
+
+// NackAlloc decides whether a home bank should NACK a directory
+// allocation, simulating capacity pressure.
+func (p *Plan) NackAlloc() bool {
+	if p.cfg.NackPermille == 0 {
+		return false
+	}
+	return p.rng.Intn(1000) < p.cfg.NackPermille
+}

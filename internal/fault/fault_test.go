@@ -1,0 +1,48 @@
+package fault
+
+import (
+	"testing"
+
+	"cohesion/internal/config"
+	"cohesion/internal/stats"
+)
+
+func TestNewPlanDisabled(t *testing.T) {
+	if p := NewPlan(config.FaultPlan{}, &stats.Run{}); p != nil {
+		t.Fatal("disabled plan should be nil")
+	}
+}
+
+// MaxDrops/MaxDups must cap the injected faults even at permille 1000.
+func TestBudgetsBound(t *testing.T) {
+	run := &stats.Run{}
+	p := NewPlan(config.FaultPlan{
+		Enabled: true, Seed: 1,
+		DropPermille: 500, DupPermille: 500,
+		MaxDrops: 3, MaxDups: 2,
+	}, run)
+	for i := 0; i < 10_000; i++ {
+		p.RequestVerdict()
+	}
+	if run.FaultDrops != 3 || run.FaultDups != 2 {
+		t.Fatalf("budgets not enforced: drops=%d dups=%d", run.FaultDrops, run.FaultDups)
+	}
+}
+
+// The same seed must reproduce the same verdict and delay sequence.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := config.DefaultFaultPlan(9)
+	a := NewPlan(cfg, &stats.Run{})
+	b := NewPlan(cfg, &stats.Run{})
+	for i := 0; i < 10_000; i++ {
+		if va, vb := a.RequestVerdict(), b.RequestVerdict(); va != vb {
+			t.Fatalf("verdict %d diverged: %v vs %v", i, va, vb)
+		}
+		if da, db := a.DelaySpike(), b.DelaySpike(); da != db {
+			t.Fatalf("delay %d diverged: %d vs %d", i, da, db)
+		}
+		if na, nb := a.NackAlloc(), b.NackAlloc(); na != nb {
+			t.Fatalf("nack %d diverged", i)
+		}
+	}
+}

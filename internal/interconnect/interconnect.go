@@ -68,6 +68,11 @@ type Network struct {
 	// for a given seed.
 	jitter    *rand.Rand
 	jitterMax int
+
+	// delayFn, when non-nil, supplies an extra occupancy for every link
+	// traversal (the fault layer's delay spikes). Same FIFO-preserving
+	// occupancy mechanism as jitter.
+	delayFn func() event.Cycle
 }
 
 // New builds a network for the given topology. treeLatency is the one-way
@@ -99,6 +104,10 @@ func (n *Network) SetJitter(max int, seed int64) {
 	n.jitterMax = max
 }
 
+// SetDelayFunc installs a per-traversal extra-occupancy source (the fault
+// layer's delay spikes). nil disables it.
+func (n *Network) SetDelayFunc(fn func() event.Cycle) { n.delayFn = fn }
+
 func (n *Network) occupancy(bytes int) event.Cycle {
 	c := event.Cycle((bytes + BytesPerCycle - 1) / BytesPerCycle)
 	if c == 0 {
@@ -106,6 +115,9 @@ func (n *Network) occupancy(bytes int) event.Cycle {
 	}
 	if n.jitter != nil {
 		c += event.Cycle(n.jitter.Intn(n.jitterMax + 1))
+	}
+	if n.delayFn != nil {
+		c += n.delayFn()
 	}
 	return c
 }

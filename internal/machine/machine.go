@@ -8,6 +8,7 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"cohesion/internal/addr"
 	"cohesion/internal/cache"
@@ -17,9 +18,11 @@ import (
 	"cohesion/internal/directory"
 	"cohesion/internal/dram"
 	"cohesion/internal/event"
+	"cohesion/internal/fault"
 	"cohesion/internal/interconnect"
 	"cohesion/internal/msg"
 	"cohesion/internal/region"
+	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
 )
 
@@ -36,9 +39,12 @@ type Machine struct {
 	Coarse   *region.CoarseTable
 	Fine     *region.FineTable
 
-	activeCores int
-	started     int
-	lastDone    event.Cycle // cycle when the final core's program completed
+	faults *fault.Plan // nil unless Cfg.Faults.Enabled
+
+	activeCores  int
+	started      int
+	lastDone     event.Cycle // cycle when the final core's program completed
+	lastProgress uint64      // watchdog: Run.ForwardProgress at the last check
 }
 
 // New builds a machine from a validated configuration.
@@ -56,6 +62,10 @@ func New(cfg config.Machine) (*Machine, error) {
 	m.Net = interconnect.New(m.Q, cfg.Clusters, cfg.L3Banks, cfg.TreeLatency, cfg.XbarLatency)
 	if cfg.NetJitter > 0 {
 		m.Net.SetJitter(cfg.NetJitter, cfg.NetJitterSeed)
+	}
+	m.faults = fault.NewPlan(cfg.Faults, m.Run)
+	if m.faults != nil {
+		m.Net.SetDelayFunc(m.faults.DelaySpike)
 	}
 
 	if cfg.Mode == config.Cohesion {
@@ -80,7 +90,7 @@ func New(cfg config.Machine) (*Machine, error) {
 		probe := func(cl int, p msg.Probe, onReply func(msg.ProbeReply)) {
 			m.deliverProbe(bank, cl, p, onReply)
 		}
-		m.Homes = append(m.Homes, core.NewHome(bank, cfg, m.Q, m.Run, m.Store, m.Mem, dir, m.Coarse, m.Fine, probe))
+		m.Homes = append(m.Homes, core.NewHome(bank, cfg, m.Q, m.Run, m.Store, m.Mem, dir, m.Coarse, m.Fine, probe, m.faults))
 	}
 
 	for c := 0; c < cfg.Clusters; c++ {
@@ -101,11 +111,14 @@ func New(cfg config.Machine) (*Machine, error) {
 }
 
 // deliverReq routes an L2 request to its line's home bank over the network
-// and routes the response back.
+// and routes the response back. When fault injection is enabled, retryable
+// requests may be dropped (they occupy their links but never arrive) or
+// delivered twice; the L2's retransmission and the home's dedup-by-ID
+// absorb both.
 func (m *Machine) deliverReq(clusterID int, req msg.Req, onResp func(msg.Resp)) {
 	bank := region.HomeBankOfLine(req.Line, m.Cfg.L3Banks)
 	h := m.Homes[bank]
-	m.Net.ToBank(clusterID, bank, req.Bytes(), func() {
+	deliver := func() {
 		var reply func(msg.Resp)
 		if onResp != nil {
 			reply = func(resp msg.Resp) {
@@ -113,7 +126,21 @@ func (m *Machine) deliverReq(clusterID int, req msg.Req, onResp func(msg.Resp)) 
 			}
 		}
 		h.HandleReq(req, reply)
-	})
+	}
+	if m.faults != nil && req.Kind.Retryable() && req.ID != 0 {
+		switch m.faults.RequestVerdict() {
+		case fault.Drop:
+			m.Run.TraceEvent(uint64(m.Q.Now()), "net", "drop %v line=%#x cl%d id=%#x",
+				req.Kind, uint64(req.Line.Base()), clusterID, req.ID)
+			m.Net.ToBank(clusterID, bank, req.Bytes(), func() {})
+			return
+		case fault.Duplicate:
+			m.Run.TraceEvent(uint64(m.Q.Now()), "net", "dup %v line=%#x cl%d id=%#x",
+				req.Kind, uint64(req.Line.Base()), clusterID, req.ID)
+			m.Net.ToBank(clusterID, bank, req.Bytes(), deliver)
+		}
+	}
+	m.Net.ToBank(clusterID, bank, req.Bytes(), deliver)
 }
 
 // deliverProbe routes a directory probe to a cluster and its (counted)
@@ -159,33 +186,60 @@ func (m *Machine) StartProgram(coreID int, program func(*cluster.Core)) {
 // ErrCycleLimit reports a simulation that exceeded its cycle budget.
 var ErrCycleLimit = errors.New("machine: cycle limit exceeded")
 
+// defaultWatchdogCycles is the forward-progress window used when the
+// configuration leaves WatchdogCycles at zero: far longer than any
+// legitimate stall (a full recall chain is thousands of cycles), short
+// enough that a wedged run fails promptly instead of spinning to the
+// cycle limit.
+const defaultWatchdogCycles = 4_000_000
+
 // Simulate runs the event loop until every started program completes and
 // all in-flight traffic drains, periodically sampling directory occupancy.
 // maxCycles guards against livelock (0 means a generous default).
-func (m *Machine) Simulate(maxCycles uint64) error {
+//
+// Abnormal ends are structured diagnostics: a *simerr.Error wrapping
+// ErrDeadlock (watchdog or drain-time wedge, with per-cluster and per-bank
+// stuck-transaction reports), ErrRetryExhausted (an L2 gave up), or
+// ErrProtocolInvariant (protocol code panicked with a diagnostic, which is
+// recovered here and returned as an error).
+func (m *Machine) Simulate(maxCycles uint64) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		se, ok := simerr.FromPanic(r)
+		if !ok {
+			panic(r) // foreign panic: a real bug, let it crash loudly
+		}
+		if se.Cycle == 0 {
+			se.Cycle = uint64(m.Q.Now())
+		}
+		err = se
+	}()
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
 	}
 	if m.hasDirectory() {
 		m.scheduleSample()
 	}
+	if m.Cfg.WatchdogCycles >= 0 {
+		window := event.Cycle(m.Cfg.WatchdogCycles)
+		if window == 0 {
+			window = defaultWatchdogCycles
+		}
+		m.lastProgress = m.Run.ForwardProgress
+		m.scheduleWatchdog(window)
+	}
 	for m.Q.Step() {
-		if uint64(m.Q.Now()) > maxCycles {
+		// The limit guards against runaway runs; housekeeping stragglers
+		// (the last watchdog or sampler event after completion) are benign.
+		if uint64(m.Q.Now()) > maxCycles && m.outstandingWork() {
 			return fmt.Errorf("%w at cycle %d (%d cores still active)", ErrCycleLimit, m.Q.Now(), m.activeCores)
 		}
 	}
-	if m.activeCores != 0 {
-		return fmt.Errorf("machine: queue drained with %d cores still active (deadlock)", m.activeCores)
-	}
-	for _, h := range m.Homes {
-		if h.Pending() {
-			return errors.New("machine: home bank has pending transactions after drain")
-		}
-	}
-	for _, cl := range m.Clusters {
-		if cl.Pending() {
-			return errors.New("machine: cluster has pending transactions after drain")
-		}
+	if m.outstandingWork() {
+		return m.deadlockError("event queue drained with work outstanding")
 	}
 	// Report the cycle the last program completed; straggler events (the
 	// occupancy sampler, in-flight writebacks) do not extend "run time".
@@ -193,6 +247,78 @@ func (m *Machine) Simulate(maxCycles uint64) error {
 	m.Run.NetMessages = m.Net.MessagesUp + m.Net.MessagesDown
 	m.Run.NetBytes = m.Net.BytesUp + m.Net.BytesDown
 	return nil
+}
+
+// outstandingWork reports whether any program or protocol transaction is
+// still unfinished.
+func (m *Machine) outstandingWork() bool {
+	if m.activeCores != 0 {
+		return true
+	}
+	for _, h := range m.Homes {
+		if h.Pending() {
+			return true
+		}
+	}
+	for _, cl := range m.Clusters {
+		if cl.Pending() {
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleWatchdog re-checks liveness every window cycles while work is
+// outstanding, with two triggers. An L2 transaction outstanding longer
+// than the window is a wedge even when other cores keep completing
+// operations (spin-waiting pollers count as "progress" but heal
+// nothing). A window with no completed operation at all catches stalls
+// that never issued a transaction. Either way the run fails with a
+// diagnostic naming the stuck transactions rather than hanging.
+func (m *Machine) scheduleWatchdog(window event.Cycle) {
+	m.Q.After(window, func() {
+		if !m.outstandingWork() {
+			return // idle: stop rescheduling so the queue can drain
+		}
+		now := m.Q.Now()
+		for _, cl := range m.Clusters {
+			if age, line, ok := cl.OldestTxn(now); ok && age > window {
+				panic(m.deadlockError(fmt.Sprintf(
+					"cl%d transaction for line %#x outstanding %d cycles (watchdog window %d)",
+					cl.ID, uint64(line.Base()), age, window)))
+			}
+		}
+		if m.Run.ForwardProgress == m.lastProgress {
+			panic(m.deadlockError(fmt.Sprintf("no forward progress for %d cycles", window)))
+		}
+		m.lastProgress = m.Run.ForwardProgress
+		m.scheduleWatchdog(window)
+	})
+}
+
+// deadlockError builds the structured deadlock diagnostic: which clusters
+// and home banks hold unfinished transactions (line, kind, age, directory
+// state), plus the protocol trace ring when tracing is enabled.
+func (m *Machine) deadlockError(reason string) *simerr.Error {
+	now := m.Q.Now()
+	var lines []string
+	for _, cl := range m.Clusters {
+		lines = append(lines, cl.StuckReport(now)...)
+	}
+	for _, h := range m.Homes {
+		lines = append(lines, h.StuckReport(now)...)
+	}
+	if len(lines) == 0 {
+		lines = append(lines, "no outstanding transactions recorded (cores wedged before issuing?)")
+	}
+	detail := fmt.Sprintf("%s; %d of %d started cores unfinished\n  %s",
+		reason, m.activeCores, m.started, strings.Join(lines, "\n  "))
+	if m.Run.Trace != nil {
+		if dump := m.Run.Trace.Dump(); dump != "" {
+			detail += "\n--- protocol trace (most recent last) ---\n" + dump
+		}
+	}
+	return simerr.New(simerr.ErrDeadlock, uint64(now), "machine", 0, "%s", detail)
 }
 
 // EnableTrace retains the last capacity protocol events (home-side request

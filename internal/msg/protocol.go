@@ -80,6 +80,16 @@ func (k ReqKind) Class() Kind {
 // occupancy).
 func (k ReqKind) HasData() bool { return k == ReqEvict || k == ReqSWFlush }
 
+// Retryable reports whether a request may be safely dropped in flight and
+// retransmitted by the requester: the home either never saw it (dropped)
+// or deduplicates it by ID (retransmitted after a slow response), and
+// servicing it is value-idempotent. Data-bearing writebacks and atomics
+// are excluded: they are fire-and-forget or non-idempotent, so the fault
+// layer never drops or duplicates them (delay spikes still apply).
+func (k ReqKind) Retryable() bool {
+	return k == ReqRead || k == ReqWrite || k == ReqInstr
+}
+
 // AtomicOp is the operation of a ReqAtomic request, performed on a single
 // word at the L3 (the paper's atom.* instructions).
 type AtomicOp uint8
@@ -134,6 +144,12 @@ type Req struct {
 	Mask    uint8     // dirty-word mask for Evict/SWFlush
 	Data    [addr.WordsPerLine]uint32
 
+	// ID is the requester's transaction identifier, unique across the
+	// machine and shared by every retransmission of the same transaction.
+	// The home uses it to drop duplicate deliveries; the requester uses it
+	// to discard stale responses. 0 means untracked (non-retryable kinds).
+	ID uint64
+
 	Op       AtomicOp
 	Operand  uint32
 	Operand2 uint32
@@ -160,6 +176,9 @@ const (
 	GrantIncoherent
 	// GrantNone: the response carries no line permission (acks, atomics).
 	GrantNone
+	// GrantNack: the home refused the request (directory capacity pressure
+	// or an injected fault); the requester must back off and retransmit.
+	GrantNack
 )
 
 func (g Grant) String() string {
@@ -172,6 +191,8 @@ func (g Grant) String() string {
 		return "inc"
 	case GrantNone:
 		return "-"
+	case GrantNack:
+		return "nack"
 	}
 	return fmt.Sprintf("Grant(%d)", uint8(g))
 }

@@ -1,0 +1,97 @@
+// Package simerr defines the simulator's structured diagnostic errors.
+//
+// Every abnormal end of a simulation — a protocol wedge detected by the
+// watchdog, an exhausted retry budget, a violated protocol invariant, a
+// rejected configuration — is reported as an *Error wrapping one of the
+// sentinel errors below, so callers can dispatch with errors.Is while the
+// message still carries the full diagnostic context (cycle, site, line
+// address, directory state).
+//
+// Protocol code deep inside event callbacks cannot return errors through
+// the callback chain; instead it panics with an *Error (see Invariant) and
+// machine.Simulate recovers the panic into an ordinary error return. Any
+// other panic value is re-raised untouched.
+package simerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors, matched with errors.Is.
+var (
+	// ErrDeadlock reports a simulation that stopped making forward
+	// progress: the watchdog found cores still active with no operations
+	// completing, or the event queue drained with programs unfinished.
+	ErrDeadlock = errors.New("simerr: deadlock")
+
+	// ErrRetryExhausted reports an L2 transaction that used up its retry
+	// budget (timeout retransmissions or directory NACK backoffs).
+	ErrRetryExhausted = errors.New("simerr: retry budget exhausted")
+
+	// ErrProtocolInvariant reports a violated coherence-protocol invariant:
+	// state the protocol guarantees can never occur was observed.
+	ErrProtocolInvariant = errors.New("simerr: protocol invariant violated")
+
+	// ErrConfig reports a rejected machine configuration.
+	ErrConfig = errors.New("simerr: invalid configuration")
+)
+
+// Error is a structured simulator diagnostic. It wraps one of the
+// sentinels (Unwrap, so errors.Is works) and records where and when the
+// failure happened in simulated time.
+type Error struct {
+	Sentinel error  // one of the Err* sentinels above
+	Cycle    uint64 // simulated cycle, 0 if unknown (filled in on recovery)
+	Site     string // emitting component, e.g. "home3", "cl0", "machine"
+	Line     uint64 // line base address, 0 when not line-specific
+	Detail   string // free-form diagnostic: op, directory state, dump
+}
+
+func (e *Error) Error() string {
+	s := e.Sentinel.Error()
+	if e.Site != "" {
+		s += " at " + e.Site
+	}
+	if e.Cycle != 0 {
+		s += fmt.Sprintf(" cycle %d", e.Cycle)
+	}
+	if e.Line != 0 {
+		s += fmt.Sprintf(" line %#x", e.Line)
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+func (e *Error) Unwrap() error { return e.Sentinel }
+
+// New builds a structured diagnostic wrapping the given sentinel.
+func New(sentinel error, cycle uint64, site string, line uint64, format string, args ...any) *Error {
+	return &Error{
+		Sentinel: sentinel,
+		Cycle:    cycle,
+		Site:     site,
+		Line:     line,
+		Detail:   fmt.Sprintf(format, args...),
+	}
+}
+
+// Invariant builds a protocol-invariant diagnostic. Protocol code panics
+// with the returned value; machine.Simulate recovers it into an error.
+func Invariant(cycle uint64, site string, line uint64, format string, args ...any) *Error {
+	return New(ErrProtocolInvariant, cycle, site, line, format, args...)
+}
+
+// Config builds a configuration-rejection diagnostic.
+func Config(format string, args ...any) *Error {
+	return New(ErrConfig, 0, "", 0, format, args...)
+}
+
+// FromPanic extracts a simulator diagnostic from a recovered panic value.
+// It reports false for foreign panics, which callers must re-raise.
+func FromPanic(v any) (*Error, bool) {
+	e, ok := v.(*Error)
+	return e, ok
+}

@@ -1,0 +1,57 @@
+package simerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestErrorsIsThroughWrapping(t *testing.T) {
+	base := New(ErrDeadlock, 123, "machine", 0x8000, "stuck")
+	if !errors.Is(base, ErrDeadlock) {
+		t.Fatal("errors.Is failed on direct Error")
+	}
+	wrapped := fmt.Errorf("run failed: %w", base)
+	if !errors.Is(wrapped, ErrDeadlock) {
+		t.Fatal("errors.Is failed through fmt.Errorf wrapping")
+	}
+	if errors.Is(wrapped, ErrRetryExhausted) {
+		t.Fatal("errors.Is matched the wrong sentinel")
+	}
+	var se *Error
+	if !errors.As(wrapped, &se) || se.Cycle != 123 || se.Line != 0x8000 {
+		t.Fatalf("errors.As lost structure: %+v", se)
+	}
+}
+
+func TestErrorMessageCarriesContext(t *testing.T) {
+	e := Invariant(77, "home3", 0x1a40, "M entry but owner %d absent", 5)
+	msg := e.Error()
+	for _, want := range []string{"home3", "cycle 77", "0x1a40", "owner 5 absent", "invariant"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(e, ErrProtocolInvariant) {
+		t.Fatal("Invariant did not wrap ErrProtocolInvariant")
+	}
+}
+
+func TestConfigSentinel(t *testing.T) {
+	e := Config("need at least %d cluster", 1)
+	if !errors.Is(e, ErrConfig) {
+		t.Fatal("Config did not wrap ErrConfig")
+	}
+}
+
+func TestFromPanic(t *testing.T) {
+	e := Invariant(1, "cl0", 0, "boom")
+	got, ok := FromPanic(any(e))
+	if !ok || got != e {
+		t.Fatal("FromPanic failed to recognize a simerr value")
+	}
+	if _, ok := FromPanic("some other panic"); ok {
+		t.Fatal("FromPanic accepted a foreign panic value")
+	}
+}

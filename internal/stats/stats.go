@@ -39,6 +39,23 @@ type Run struct {
 	// in more than one L2 — the paper's Figure 7 Case 5b software race.
 	OverlapRaces uint64
 
+	// Fault injection (counts of injected events; see internal/fault).
+	FaultDrops  uint64 // requests dropped in flight
+	FaultDups   uint64 // requests delivered twice
+	FaultDelays uint64 // link traversals given a delay spike
+	NacksSent   uint64 // allocation NACKs sent by home banks (injected + capacity)
+
+	// Protocol recovery (the requester/home side of the resilience layer).
+	L2Retries      uint64 // timeout-driven retransmissions
+	NackRetries    uint64 // retransmissions after a directory NACK
+	StaleResponses uint64 // responses discarded for already-settled transactions
+	DupsDropped    uint64 // duplicate request deliveries dropped by home dedup
+
+	// ForwardProgress counts completed core operations plus home-side
+	// transaction grants; the machine's watchdog declares deadlock when it
+	// stops advancing while cores are still active.
+	ForwardProgress uint64
+
 	// DRAM line transfers.
 	DRAMReads, DRAMWrites uint64
 
@@ -186,6 +203,14 @@ func (r *Run) String() string {
 	}
 	if r.Occupancy.Samples() > 0 {
 		fmt.Fprintf(&b, "  directory mean=%.1f max=%d entries\n", r.Occupancy.MeanTotal(), r.Occupancy.MaxTotal())
+	}
+	if r.FaultDrops+r.FaultDups+r.FaultDelays+r.NacksSent > 0 {
+		fmt.Fprintf(&b, "  faults injected: drops=%d dups=%d delays=%d nacks=%d\n",
+			r.FaultDrops, r.FaultDups, r.FaultDelays, r.NacksSent)
+	}
+	if r.L2Retries+r.NackRetries+r.StaleResponses+r.DupsDropped > 0 {
+		fmt.Fprintf(&b, "  recovery: retries=%d nack-retries=%d stale-resp=%d dup-dropped=%d\n",
+			r.L2Retries, r.NackRetries, r.StaleResponses, r.DupsDropped)
 	}
 	return b.String()
 }
