@@ -1,0 +1,135 @@
+// Command cohesion-fuzz stress-tests the coherence protocol with seeded
+// random task programs, watched online by the coherence oracle. On the
+// first failure it writes a self-contained repro file (config, seeds, op
+// schedule, protocol trace ring), shrinks the failing program to a
+// near-minimal schedule, and exits nonzero.
+//
+// Examples:
+//
+//	cohesion-fuzz -iters 50 -seed 1                 # fuzz 50 programs
+//	cohesion-fuzz -iters 50 -seed 1 -faults         # compose with fault injection
+//	cohesion-fuzz -mode cohesion -corrupt           # planted corruption must be caught
+//	cohesion-fuzz -replay repro.json                # re-run a saved failure
+//	cohesion-fuzz -replay repro.json -shrink=false  # replay without shrinking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cohesion/internal/stress"
+)
+
+func main() {
+	var (
+		iters     = flag.Int("iters", 20, "number of random programs to run")
+		seed      = flag.Int64("seed", 1, "base program seed (each iteration derives its own)")
+		mode      = flag.String("mode", "", "memory model: swcc, hwcc, cohesion (default: rotate through all three)")
+		clusters  = flag.Int("clusters", 0, "number of 8-core clusters (0 = default)")
+		lines     = flag.Int("lines", 0, "number of shared fuzzed lines (0 = default)")
+		ops       = flag.Int("ops", 0, "ops per core schedule (0 = default)")
+		workers   = flag.Int("workers", 0, "worker cores per cluster (0 = default)")
+		faults    = flag.Bool("faults", false, "compose runs with deterministic fault injection")
+		faultSeed = flag.Int64("fault-seed", 1, "base fault plan seed")
+		corrupt   = flag.Bool("corrupt", false, "plant a memory-corruption motif the oracle must catch")
+		traceN    = flag.Int("trace", 0, "protocol trace ring capacity captured into repros (0 = default)")
+		out       = flag.String("out", "cohesion-fuzz-repro.json", "repro file written on failure")
+		replay    = flag.String("replay", "", "replay a saved repro file instead of fuzzing")
+		shrink    = flag.Bool("shrink", true, "shrink a failing program before writing the repro")
+		maxShrink = flag.Int("max-shrink-runs", 500, "re-execution budget for shrinking")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayFile(*replay, *shrink, *maxShrink, *out))
+	}
+
+	modes := []string{"cohesion", "hwcc", "swcc"}
+	if *mode != "" {
+		modes = []string{*mode}
+	}
+	var totalChecks, totalCycles uint64
+	for i := 0; i < *iters; i++ {
+		cfg := stress.Config{
+			Seed:              *seed + int64(i)*1_000_003,
+			Mode:              modes[i%len(modes)],
+			Clusters:          *clusters,
+			Lines:             *lines,
+			OpsPerCore:        *ops,
+			WorkersPerCluster: *workers,
+			Faults:            *faults,
+			FaultSeed:         *faultSeed + int64(i),
+			InjectCorrupt:     *corrupt,
+			TraceRing:         *traceN,
+		}
+		p, err := stress.Generate(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		res := stress.RunProgram(p)
+		if res.Err == nil {
+			totalChecks += res.Checks
+			totalCycles += res.Cycles
+			continue
+		}
+		fmt.Printf("iter %d (seed %d, mode %s, faults %v) FAILED:\n  %v\n",
+			i, cfg.Seed, cfg.Mode, cfg.Faults, res.Err)
+		category := stress.CategoryOf(res.Err)
+		if *shrink {
+			q, runs := stress.Shrink(p, category, *maxShrink)
+			fmt.Printf("shrunk to %d ops across %d cores in %d runs\n", opCount(q), len(q.Cores), runs)
+			if sres := stress.RunProgram(q); sres.Err != nil && stress.CategoryOf(sres.Err) == category {
+				p, res = q, sres
+			}
+		}
+		if err := stress.NewRepro(p, res).Save(*out); err != nil {
+			fatal("writing repro: %v", err)
+		}
+		fmt.Printf("repro written to %s (category %s)\n", *out, category)
+		os.Exit(1)
+	}
+	fmt.Printf("%d programs clean: %d oracle checks over %d simulated cycles\n",
+		*iters, totalChecks, totalCycles)
+}
+
+// replayFile re-runs a saved repro, optionally shrinking it further, and
+// returns the process exit code: 0 if the failure reproduced, 1 if not.
+func replayFile(path string, shrink bool, maxShrink int, out string) int {
+	r, err := stress.LoadRepro(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	res, same := stress.Replay(r)
+	if !same {
+		fmt.Printf("did NOT reproduce %s failure %q; run result: %v\n", path, r.Category, res.Err)
+		return 1
+	}
+	fmt.Printf("reproduced: %v\n", res.Err)
+	if shrink {
+		q, runs := stress.Shrink(r.Program, r.Category, maxShrink)
+		if opCount(q) < opCount(r.Program) {
+			if sres := stress.RunProgram(q); sres.Err != nil && stress.CategoryOf(sres.Err) == r.Category {
+				if err := stress.NewRepro(q, sres).Save(out); err != nil {
+					fatal("writing repro: %v", err)
+				}
+				fmt.Printf("shrunk to %d ops (was %d) in %d runs; smaller repro written to %s\n",
+					opCount(q), opCount(r.Program), runs, out)
+			}
+		}
+	}
+	return 0
+}
+
+func opCount(p stress.Program) int {
+	n := 0
+	for _, c := range p.Cores {
+		n += len(c.Ops)
+	}
+	return n
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cohesion-fuzz: "+format+"\n", args...)
+	os.Exit(1)
+}

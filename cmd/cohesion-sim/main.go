@@ -41,6 +41,7 @@ func main() {
 		faults    = flag.Bool("faults", false, "inject network/directory faults (drops, dups, delays, NACKs) with recovery")
 		faultSeed = flag.Int64("fault-seed", 1, "fault plan PRNG seed")
 		watchdog  = flag.Int64("watchdog", 0, "forward-progress window in cycles (0 = default, negative = disabled)")
+		oracleOn  = flag.Bool("oracle", false, "attach the online coherence oracle (fails fast on any protocol invariant violation)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 		cfg.Faults = cohesion.DefaultFaultPlan(*faultSeed)
 	}
 	cfg.WatchdogCycles = *watchdog
+	cfg.OracleEnabled = *oracleOn
 
 	res, err := cohesion.Run(cohesion.RunConfig{
 		Machine:       cfg,

@@ -21,6 +21,7 @@ import (
 	"cohesion/internal/config"
 	"cohesion/internal/event"
 	"cohesion/internal/msg"
+	"cohesion/internal/oracle"
 	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
 )
@@ -141,6 +142,7 @@ type Cluster struct {
 	l2     *cache.Cache
 	toHome HomeSend
 	Cores  []*Core
+	orc    *oracle.Oracle // nil unless the online coherence oracle is enabled
 
 	l2busy event.Cycle
 	txns   map[addr.Line]*l2txn
@@ -204,6 +206,11 @@ func (cl *Cluster) Wire(toHome HomeSend, onCoreDone func()) {
 	cl.toHome = toHome
 	cl.onCoreDone = onCoreDone
 }
+
+// SetOracle attaches the online coherence oracle; the cluster reports
+// every completed load/store, install, probe effect, flush, and eviction
+// to it. A nil oracle (the default) costs nothing on the hot paths.
+func (cl *Cluster) SetOracle(o *oracle.Oracle) { cl.orc = o }
 
 // L2 exposes the shared cache for invariant checks and end-of-run drains.
 func (cl *Cluster) L2() *cache.Cache { return cl.l2 }
@@ -361,7 +368,11 @@ func (cl *Cluster) load(c *Core, a addr.Addr, cont func(uint32)) {
 				"L1D/L2 inclusion broken: line in core %d's L1D but absent from L2", c.ID))
 		}
 		if e.ValidMask&bit != 0 {
-			cont(e.Data[addr.WordIndex(a)])
+			v := e.Data[addr.WordIndex(a)]
+			if cl.orc != nil {
+				cl.orc.LoadObserved(cl.ID, a, v)
+			}
+			cont(v)
 			return
 		}
 		// The line is resident but this word was never filled (SWcc
@@ -377,7 +388,11 @@ func (cl *Cluster) l2Load(c *Core, a addr.Addr, cont func(uint32)) {
 		if c.l1d.Peek(line) == nil {
 			c.l1d.Allocate(line) // tags only; L1D victims drop silently
 		}
-		cont(e.Data[addr.WordIndex(a)])
+		v := e.Data[addr.WordIndex(a)]
+		if cl.orc != nil {
+			cl.orc.LoadObserved(cl.ID, a, v)
+		}
+		cont(v)
 		return
 	}
 	// Miss, or resident with the needed word invalid: fetch and merge.
@@ -400,6 +415,9 @@ func (cl *Cluster) l2Store(c *Core, a addr.Addr, v uint32, cont func()) {
 	e := cl.l2.Lookup(line)
 	if e != nil {
 		if e.Incoherent || e.State == cache.StateModified {
+			if cl.orc != nil {
+				cl.orc.StoreObserved(cl.ID, a, v, e.Incoherent)
+			}
 			e.Data[addr.WordIndex(a)] = v
 			e.ValidMask |= bit
 			e.DirtyMask |= bit
@@ -419,6 +437,9 @@ func (cl *Cluster) l2Store(c *Core, a addr.Addr, v uint32, cont func()) {
 		ne.ValidMask = bit
 		ne.DirtyMask = bit
 		ne.Data[addr.WordIndex(a)] = v
+		if cl.orc != nil {
+			cl.orc.StoreObserved(cl.ID, a, v, true)
+		}
 		cont()
 		return
 	}
@@ -587,6 +608,9 @@ func (cl *Cluster) install(line addr.Line, resp msg.Resp) {
 		e.Incoherent = true
 		e.State = cache.StateInvalid
 	}
+	if cl.orc != nil {
+		cl.orc.InstallObserved(cl.ID, e)
+	}
 }
 
 // uncached performs atomic and uncached word operations at the L3,
@@ -635,6 +659,9 @@ func (cl *Cluster) flush(c *Core, a addr.Addr, cont func()) {
 		}
 		req := msg.Req{Kind: msg.ReqSWFlush, Line: line, Mask: e.DirtyMask, Data: e.Data}
 		e.DirtyMask = 0
+		if cl.orc != nil {
+			cl.orc.WritebackObserved(cl.ID, line, req.Mask, req.Data)
+		}
 		cl.send(req, func(msg.Resp) { cont() })
 	})
 }
@@ -665,6 +692,9 @@ func (cl *Cluster) inv(c *Core, a addr.Addr, cont func()) {
 // so the directory stays consistent.
 func (cl *Cluster) dropLine(e *cache.Entry) {
 	line := e.Line
+	if cl.orc != nil {
+		cl.orc.EvictObserved(cl.ID, e, !e.Incoherent)
+	}
 	if !e.Incoherent {
 		cl.surrender(*e)
 	}
@@ -674,6 +704,9 @@ func (cl *Cluster) dropLine(e *cache.Entry) {
 
 // evictVictim handles a line displaced by an allocation.
 func (cl *Cluster) evictVictim(victim cache.Entry) {
+	if cl.orc != nil {
+		cl.orc.EvictObserved(cl.ID, &victim, true)
+	}
 	cl.invalidateL1(victim.Line)
 	cl.surrender(victim)
 }
@@ -705,6 +738,15 @@ func (cl *Cluster) invalidateL1(line addr.Line) {
 // HandleProbe services a directory probe, replying through reply (the
 // machine glue counts the reply as a Probe Response and routes it back).
 func (cl *Cluster) HandleProbe(p msg.Probe, reply func(msg.ProbeReply)) {
+	if cl.orc != nil {
+		// Observe every reply at the moment it leaves (after the L2 entry
+		// was mutated), so the oracle's holder model tracks probe effects.
+		inner := reply
+		reply = func(rep msg.ProbeReply) {
+			cl.orc.ProbeApplied(cl.ID, p, rep)
+			inner(rep)
+		}
+	}
 	e := cl.l2.Peek(p.Line)
 	cl.trace("probe %v line=%#x present=%v", p.Kind, uint64(p.Line), e != nil)
 	base := msg.ProbeReply{Cluster: cl.ID, Line: p.Line}

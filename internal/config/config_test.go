@@ -1,6 +1,11 @@
 package config
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"cohesion/internal/simerr"
+)
 
 func TestTable3MatchesPaper(t *testing.T) {
 	m := Table3()
@@ -95,6 +100,57 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		mut(&m)
 		if err := m.Validate(); err == nil {
 			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestValidateKnobs covers the robustness knobs — fault injection,
+// watchdog, trace ring — with named cases: every bad value must come back
+// as a wrapped simerr.ErrConfig, never a panic, and the good values must
+// pass.
+func TestValidateKnobs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Machine)
+		ok   bool
+	}{
+		{"default fault plan", func(m *Machine) { m.Faults = DefaultFaultPlan(1) }, true},
+		{"disabled plan ignores bad rates", func(m *Machine) { m.Faults.DropPermille = -5 }, true},
+		{"negative drop rate", func(m *Machine) { m.Faults.Enabled = true; m.Faults.DropPermille = -1 }, false},
+		{"drop rate over 1000", func(m *Machine) { m.Faults.Enabled = true; m.Faults.DropPermille = 1001 }, false},
+		{"dup rate over 1000", func(m *Machine) { m.Faults.Enabled = true; m.Faults.DupPermille = 2000 }, false},
+		{"negative nack rate", func(m *Machine) { m.Faults.Enabled = true; m.Faults.NackPermille = -1 }, false},
+		{"negative delay bound", func(m *Machine) { m.Faults.Enabled = true; m.Faults.DelayMax = -1 }, false},
+		{"delay rate without bound", func(m *Machine) { m.Faults.Enabled = true; m.Faults.DelayPermille = 10 }, false},
+		{"negative drop cap", func(m *Machine) { m.Faults.Enabled = true; m.Faults.MaxDrops = -1 }, false},
+		{"drops with no recovery and no watchdog", func(m *Machine) {
+			m.Faults.Enabled = true
+			m.Faults.DropPermille = 10
+			m.Faults.Recovery = false
+			m.WatchdogCycles = -1
+		}, false},
+		{"drops with no recovery but watchdog armed", func(m *Machine) {
+			m.Faults.Enabled = true
+			m.Faults.DropPermille = 10
+			m.Faults.Recovery = false
+			m.WatchdogCycles = 0
+		}, true},
+		{"watchdog disabled", func(m *Machine) { m.WatchdogCycles = -1 }, true},
+		{"negative retry timeout", func(m *Machine) { m.L2RetryTimeout = -1 }, false},
+		{"negative retry limit", func(m *Machine) { m.L2RetryLimit = -1 }, false},
+		{"negative trace ring", func(m *Machine) { m.TraceRingSize = -1 }, false},
+		{"trace ring set", func(m *Machine) { m.TraceRingSize = 512 }, true},
+		{"oracle enabled", func(m *Machine) { m.OracleEnabled = true }, true},
+	}
+	for _, tc := range cases {
+		m := Scaled(8)
+		tc.mut(&m)
+		err := m.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		}
+		if !tc.ok && !errors.Is(err, simerr.ErrConfig) {
+			t.Errorf("%s: err = %v, want a wrapped simerr.ErrConfig", tc.name, err)
 		}
 	}
 }

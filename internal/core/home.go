@@ -32,6 +32,7 @@ import (
 	"cohesion/internal/event"
 	"cohesion/internal/fault"
 	"cohesion/internal/msg"
+	"cohesion/internal/oracle"
 	"cohesion/internal/region"
 	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
@@ -59,6 +60,11 @@ type Home struct {
 	// faults, when non-nil, injects directory-allocation NACKs (the drop/
 	// duplicate/delay decisions live at the machine and network layers).
 	faults *fault.Plan
+
+	// orc, when non-nil, is the online coherence oracle; the home reports
+	// every grant, atomic, uncached load, writeback merge, and domain
+	// transition to it.
+	orc *oracle.Oracle
 
 	// busyUntil models the single L3/directory port (Table 3: one R/W
 	// port per bank): request processing serializes through it.
@@ -126,6 +132,9 @@ func NewHome(bank int, cfg config.Machine, q *event.Queue, run *stats.Run,
 		serviced: make(map[uint64]struct{}),
 	}
 }
+
+// SetOracle attaches the online coherence oracle.
+func (h *Home) SetOracle(o *oracle.Oracle) { h.orc = o }
 
 // site names this bank in diagnostics and traces.
 func (h *Home) site() string { return fmt.Sprintf("home%d", h.bank) }
@@ -217,13 +226,20 @@ func (h *Home) StuckReport(now event.Cycle) []string {
 // HandleReq is the entry point for a request arriving from the network.
 // reply, when non-nil, routes the response back to the requesting L2.
 func (h *Home) HandleReq(req msg.Req, reply func(msg.Resp)) {
-	// Serialize through the bank port, then charge the L3 pipeline.
+	h.stage(func() { h.process(req, reply) })
+}
+
+// stage serializes an arriving message through the bank's single port and
+// charges the L3 pipeline latency before fn runs. Port slots are granted
+// in arrival order, so two messages from the same cluster — which the
+// network delivers in send order — are also processed in send order.
+func (h *Home) stage(fn func()) {
 	start := h.q.Now()
 	if h.busyUntil > start {
 		start = h.busyUntil
 	}
 	h.busyUntil = start + portOccupancy
-	h.q.At(start+event.Cycle(h.cfg.L3Latency), func() { h.process(req, reply) })
+	h.q.At(start+event.Cycle(h.cfg.L3Latency), fn)
 }
 
 // trace records a home-side protocol event in the run's TraceLog (and on
@@ -280,6 +296,12 @@ func (h *Home) start(req msg.Req, reply func(msg.Resp)) {
 	h.trace("start %v line=%#x cluster=%d", req.Kind, uint64(line), req.Cluster)
 	done := func(resp msg.Resp) {
 		h.trace("done %v line=%#x cluster=%d grant=%v", req.Kind, uint64(line), req.Cluster, resp.Grant)
+		if h.orc != nil {
+			// Value/domain/ownership checks happen at grant time, the same
+			// event that read the store, so the comparison cannot race
+			// in-flight merges or transitions.
+			h.orc.GrantObserved(req, resp)
+		}
 		if req.ID != 0 && resp.Grant != msg.GrantNack {
 			// NACKed transactions are NOT marked: the requester will
 			// retransmit the same ID and must be serviced then.
@@ -301,7 +323,11 @@ func (h *Home) start(req msg.Req, reply func(msg.Resp)) {
 		h.atomicFlow(req, done)
 	case msg.ReqUncLoad:
 		h.dataAccess(req.Line, func([addr.WordsPerLine]uint32) {
-			done(msg.Resp{Grant: msg.GrantNone, Value: h.store.ReadWord(req.Addr)})
+			v := h.store.ReadWord(req.Addr)
+			if h.orc != nil {
+				h.orc.UncLoadObserved(req.Addr, v)
+			}
+			done(msg.Resp{Grant: msg.GrantNone, Value: v})
 		})
 	default:
 		panic(simerr.Invariant(uint64(h.q.Now()), h.site(), uint64(line.Base()),
@@ -528,6 +554,11 @@ func (h *Home) atomicFlow(req msg.Req, done func(msg.Resp)) {
 	} else {
 		next = req.Op.Apply(old, req.Operand, req.Operand2)
 	}
+	// Observe before the write: the oracle's lazy shadow of this line must
+	// capture the pre-update store contents.
+	if h.orc != nil {
+		h.orc.AtomicObserved(req.Addr, old, next)
+	}
 	h.store.WriteWord(req.Addr, next)
 	h.touchL3Word(req.Addr)
 
@@ -666,5 +697,13 @@ func (h *Home) probeTargets(e *directory.Entry, skip int) []int {
 func (h *Home) sendProbe(cluster int, p msg.Probe, onReply func(msg.ProbeReply)) {
 	h.run.ProbesSent++
 	h.trace("%v line=%#x -> cl%d", p.Kind, uint64(p.Line), cluster)
-	h.probe(cluster, p, onReply)
+	h.probe(cluster, p, func(rep msg.ProbeReply) {
+		// A probe reply is a message arriving at the bank like any other
+		// and must serialize through the port behind messages that arrived
+		// first. Without this, a reply can overtake the same cluster's
+		// earlier flush or eviction inside the bank — the network delivered
+		// both in send order, but the flush was still sitting in the port
+		// pipeline — and a recall would then grant pre-writeback data.
+		h.stage(func() { onReply(rep) })
+	})
 }

@@ -36,6 +36,9 @@ func (h *Home) installL3(line addr.Line) {
 // store; the L3 tag is write-allocated and marked dirty so a later
 // eviction pays the DRAM write.
 func (h *Home) mergeToL3(line addr.Line, mask uint8, data [addr.WordsPerLine]uint32) {
+	if h.orc != nil {
+		h.orc.MemMerged(line, mask, data)
+	}
 	h.store.MergeLine(line, mask, data)
 	e := h.l3.Lookup(line)
 	if e == nil {

@@ -53,6 +53,15 @@ func (h *Home) transitionChanged(wordAddr addr.Addr, changed, newWord uint32, co
 		lines = append(lines, region.InvTblAddr(addr.WordAlign(wordAddr), bit, h.cfg.L3Banks))
 		toSW = append(toSW, newWord&(1<<bit) != 0)
 	}
+	if h.orc != nil {
+		// Mark every affected line transitioning up front: the table write
+		// is already visible, so a racing request for line i may be
+		// serviced under the new domain before its serialized transition
+		// protocol runs.
+		for i := range lines {
+			h.orc.TransitionStart(lines[i], toSW[i])
+		}
+	}
 	anyRace := false
 	var step func(i int)
 	step = func(i int) {
@@ -93,17 +102,20 @@ func (h *Home) transitionToSW(line addr.Line, cont func(raced bool)) {
 	h.run.TransitionsToSW++
 	h.trace("transition toSW line=%#x", uint64(line))
 	h.acquireLine(line, func() {
-		e := h.dir.Lookup(line)
-		if e == nil {
+		finish := func() {
+			if h.orc != nil {
+				h.orc.TransitionDone(line, true)
+			}
 			h.completeTxn(line)
 			cont(false)
+		}
+		e := h.dir.Lookup(line)
+		if e == nil {
+			finish()
 			return
 		}
 		e.Pinned = true
-		h.recallEntry(line, e, func() {
-			h.completeTxn(line)
-			cont(false)
-		})
+		h.recallEntry(line, e, finish)
 	})
 }
 
@@ -119,17 +131,30 @@ func (h *Home) transitionToHW(line addr.Line, cont func(raced bool)) {
 	h.run.TransitionsToHW++
 	h.trace("transition toHW line=%#x (capture broadcast)", uint64(line))
 	h.acquireLine(line, func() {
-		replies := make([]msg.ProbeReply, 0, h.cfg.Clusters)
-		pending := h.cfg.Clusters
-		for c := 0; c < h.cfg.Clusters; c++ {
-			h.sendProbe(c, msg.Probe{Kind: msg.ProbeCapture, Line: line}, func(rep msg.ProbeReply) {
-				replies = append(replies, rep)
-				pending--
-				if pending == 0 {
-					h.captureDecide(line, replies, cont)
-				}
-			})
+		broadcast := func() {
+			replies := make([]msg.ProbeReply, 0, h.cfg.Clusters)
+			pending := h.cfg.Clusters
+			for c := 0; c < h.cfg.Clusters; c++ {
+				h.sendProbe(c, msg.Probe{Kind: msg.ProbeCapture, Line: line}, func(rep msg.ProbeReply) {
+					replies = append(replies, rep)
+					pending--
+					if pending == 0 {
+						h.captureDecide(line, replies, cont)
+					}
+				})
+			}
 		}
+		// The table bit is visible the moment it is written, so a request
+		// serialized ahead of this transition may already have read the new
+		// domain and created a directory entry (hardware grants) for the
+		// line. Tear that state down first: recalled copies land in the L3,
+		// and only pre-flip incoherent copies remain for the capture to see.
+		if e := h.dir.Lookup(line); e != nil {
+			e.Pinned = true
+			h.recallEntry(line, e, broadcast)
+			return
+		}
+		broadcast()
 	})
 }
 
@@ -147,6 +172,9 @@ func (h *Home) captureDecide(line addr.Line, replies []msg.ProbeReply, cont func
 	}
 	raced := false
 	finish := func() {
+		if h.orc != nil {
+			h.orc.TransitionDone(line, false)
+		}
 		h.completeTxn(line)
 		cont(raced)
 	}

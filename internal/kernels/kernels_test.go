@@ -14,6 +14,10 @@ func modeCfg(mode config.Mode) config.Machine {
 	if mode != config.SWcc {
 		cfg = cfg.WithDirectory(config.DirInfinite, 0, 0)
 	}
+	// Every kernel test runs under the online coherence oracle: any stale
+	// value, illegal MSI state, or bad domain transition fails the run at
+	// the violating event.
+	cfg.OracleEnabled = true
 	return cfg
 }
 

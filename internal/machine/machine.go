@@ -21,6 +21,7 @@ import (
 	"cohesion/internal/fault"
 	"cohesion/internal/interconnect"
 	"cohesion/internal/msg"
+	"cohesion/internal/oracle"
 	"cohesion/internal/region"
 	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
@@ -39,7 +40,8 @@ type Machine struct {
 	Coarse   *region.CoarseTable
 	Fine     *region.FineTable
 
-	faults *fault.Plan // nil unless Cfg.Faults.Enabled
+	faults *fault.Plan    // nil unless Cfg.Faults.Enabled
+	oracle *oracle.Oracle // nil unless Cfg.OracleEnabled
 
 	activeCores  int
 	started      int
@@ -74,6 +76,12 @@ func New(cfg config.Machine) (*Machine, error) {
 			m.Coarse = &region.CoarseTable{}
 		}
 	}
+	if cfg.OracleEnabled {
+		m.oracle = oracle.New(cfg, m.Q, m.Store, m.Coarse, m.Fine)
+	}
+	if cfg.TraceRingSize > 0 {
+		m.EnableTrace(cfg.TraceRingSize)
+	}
 
 	for b := 0; b < cfg.L3Banks; b++ {
 		var dir directory.Directory
@@ -90,7 +98,11 @@ func New(cfg config.Machine) (*Machine, error) {
 		probe := func(cl int, p msg.Probe, onReply func(msg.ProbeReply)) {
 			m.deliverProbe(bank, cl, p, onReply)
 		}
-		m.Homes = append(m.Homes, core.NewHome(bank, cfg, m.Q, m.Run, m.Store, m.Mem, dir, m.Coarse, m.Fine, probe, m.faults))
+		h := core.NewHome(bank, cfg, m.Q, m.Run, m.Store, m.Mem, dir, m.Coarse, m.Fine, probe, m.faults)
+		if m.oracle != nil {
+			h.SetOracle(m.oracle)
+		}
+		m.Homes = append(m.Homes, h)
 	}
 
 	for c := 0; c < cfg.Clusters; c++ {
@@ -105,10 +117,16 @@ func New(cfg config.Machine) (*Machine, error) {
 				}
 			},
 		)
+		if m.oracle != nil {
+			cl.SetOracle(m.oracle)
+		}
 		m.Clusters = append(m.Clusters, cl)
 	}
 	return m, nil
 }
+
+// Oracle returns the online coherence oracle, or nil when disabled.
+func (m *Machine) Oracle() *oracle.Oracle { return m.oracle }
 
 // deliverReq routes an L2 request to its line's home bank over the network
 // and routes the response back. When fault injection is enabled, retryable
@@ -387,6 +405,13 @@ func (m *Machine) DrainToMemory() {
 //     domain: under Cohesion an incoherent line's region-table state must
 //     say SWcc, a coherent line's must say HWcc.
 func (m *Machine) CheckInvariants() error {
+	if m.oracle != nil {
+		// The oracle's domain model must agree with the region tables at
+		// quiescence (runs for every mode, including directory-less SWcc).
+		if err := m.oracle.CheckDomains(m.isSWccDomain); err != nil {
+			return err
+		}
+	}
 	if !m.hasDirectory() {
 		return nil
 	}

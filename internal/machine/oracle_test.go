@@ -1,0 +1,96 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/cache"
+	"cohesion/internal/cluster"
+	"cohesion/internal/simerr"
+)
+
+// The fabrication tests corrupt machine state host-side between program
+// operations (the machine is paused while a program body runs) and verify
+// the online oracle catches the corruption at the violating event — the
+// run's Simulate returns ErrProtocolInvariant instead of completing.
+//
+// A failing run strands its program goroutines inside Do; that leak is
+// confined to the test process.
+
+func expectViolation(t *testing.T, m *Machine, substr string) {
+	t.Helper()
+	err := m.Simulate(50_000_000)
+	if err == nil {
+		t.Fatalf("corrupted run completed cleanly; want ErrProtocolInvariant containing %q", substr)
+	}
+	if !errors.Is(err, simerr.ErrProtocolInvariant) {
+		t.Fatalf("got %v, want ErrProtocolInvariant", err)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("violation message %q does not contain %q", err.Error(), substr)
+	}
+}
+
+// TestOracleDetectsStaleRead doctors an L2 data word after a store so a
+// later load returns a value the protocol never produced.
+func TestOracleDetectsStaleRead(t *testing.T) {
+	cfg := hwccCfg(2)
+	cfg.OracleEnabled = true
+	m := newMachine(t, cfg)
+	a := addr.Addr(addr.HeapBase)
+	line := addr.LineOf(a)
+	program(m, 0, func(c *cluster.Core) {
+		st(c, a, 1)
+		st(c, a, 2)
+		// Corrupt the cached copy: flip the word back to the stale value.
+		m.Clusters[0].L2().Peek(line).Data[addr.WordIndex(a)] = 1
+		ld(c, a)
+	})
+	expectViolation(t, m, "stale read")
+}
+
+// TestOracleDetectsDoubleOwner fabricates a second Modified copy of a line
+// the directory granted exclusively to another cluster.
+func TestOracleDetectsDoubleOwner(t *testing.T) {
+	cfg := hwccCfg(2)
+	cfg.OracleEnabled = true
+	m := newMachine(t, cfg)
+	a := addr.Addr(addr.HeapBase)
+	line := addr.LineOf(a)
+	program(m, 0, func(c *cluster.Core) {
+		st(c, a, 7) // cluster 0 becomes the legitimate owner
+		uncStore(c, syncWord, 1)
+	})
+	program(m, 8, func(c *cluster.Core) {
+		spinUntil(c, syncWord, 1)
+		// Fabricate an M copy in cluster 1 without any directory grant.
+		e, _, _ := m.Clusters[1].L2().Allocate(line)
+		e.State = cache.StateModified
+		e.ValidMask = cache.FullMask
+		st(c, a, 9) // hits the fabricated M entry: two owners now write
+	})
+	expectViolation(t, m, "double owner")
+}
+
+// TestOracleDetectsIllegalCleanCapture clears the dirty mask of a dirty
+// incoherent line so a SWcc=>HWcc capture illegally replies "clean",
+// silently discarding the uncommitted store (paper Figure 7b forbids it:
+// dirty copies must write back or upgrade).
+func TestOracleDetectsIllegalCleanCapture(t *testing.T) {
+	cfg := cohesionCfg(2)
+	cfg.OracleEnabled = true
+	m := newMachine(t, cfg)
+	a := addr.Addr(addr.CohHeapBase)
+	line := addr.LineOf(a)
+	m.PresetSWcc(addr.Range{Base: a, Size: addr.LineBytes})
+	banks := m.Cfg.L3Banks
+	program(m, 0, func(c *cluster.Core) {
+		st(c, a, 5) // dirty incoherent copy
+		// Corrupt the bookkeeping: the cache now believes the line is clean.
+		m.Clusters[0].L2().Peek(line).DirtyMask = 0
+		transition(c, a, banks, false) // SWcc => HWcc capture broadcast
+	})
+	expectViolation(t, m, "illegal SWcc→HWcc flip")
+}

@@ -1,0 +1,121 @@
+package stress
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"cohesion/internal/machine"
+	"cohesion/internal/simerr"
+	"cohesion/internal/stats"
+)
+
+// Repro is a self-contained failure reproduction: the exact program (its
+// Config includes every seed), how the run failed, and the tail of the
+// protocol trace ring at failure time. It serializes to JSON.
+type Repro struct {
+	Version  int                `json:"version"`
+	Program  Program            `json:"program"`
+	Failure  string             `json:"failure"`  // the full error text
+	Sentinel string             `json:"sentinel"` // failure class, see SentinelOf
+	Category string             `json:"category"` // finer tag, see CategoryOf
+	Cycles   uint64             `json:"cycles"`
+	Trace    []stats.TraceEntry `json:"trace,omitempty"`
+}
+
+const reproVersion = 1
+
+// SentinelOf classifies a run error into a stable string used to decide
+// whether a replay or a shrunken candidate reproduces "the same" failure.
+func SentinelOf(err error) string {
+	switch {
+	case err == nil:
+		return "none"
+	case errors.Is(err, simerr.ErrProtocolInvariant):
+		return "protocol-invariant"
+	case errors.Is(err, simerr.ErrDeadlock):
+		return "deadlock"
+	case errors.Is(err, simerr.ErrRetryExhausted):
+		return "retry-exhausted"
+	case errors.Is(err, machine.ErrCycleLimit):
+		return "cycle-limit"
+	case errors.Is(err, simerr.ErrConfig):
+		return "config"
+	}
+	return "other"
+}
+
+// CategoryOf refines SentinelOf with the leading phrase of a structured
+// diagnostic (e.g. "protocol-invariant/stale grant"), so that replay and
+// shrinking track the specific violation rather than just its class —
+// without it, a shrinker can wander from one protocol bug to a different
+// one that shares the sentinel.
+func CategoryOf(err error) string {
+	s := SentinelOf(err)
+	var se *simerr.Error
+	if errors.As(err, &se) && se.Detail != "" {
+		head := se.Detail
+		if i := strings.IndexByte(head, ':'); i > 0 {
+			head = head[:i]
+		}
+		if len(head) <= 48 {
+			return s + "/" + head
+		}
+	}
+	return s
+}
+
+// NewRepro packages a failed run for the repro file.
+func NewRepro(p Program, res Result) Repro {
+	failure := ""
+	if res.Err != nil {
+		failure = res.Err.Error()
+	}
+	return Repro{
+		Version:  reproVersion,
+		Program:  p,
+		Failure:  failure,
+		Sentinel: SentinelOf(res.Err),
+		Category: CategoryOf(res.Err),
+		Cycles:   res.Cycles,
+		Trace:    res.Trace,
+	}
+}
+
+// Save writes the repro as indented JSON.
+func (r Repro) Save(path string) error {
+	b, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadRepro reads a repro file back.
+func LoadRepro(path string) (Repro, error) {
+	var r Repro
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("stress: bad repro file %s: %w", path, err)
+	}
+	if r.Version != reproVersion {
+		return r, fmt.Errorf("stress: repro version %d, want %d", r.Version, reproVersion)
+	}
+	return r, nil
+}
+
+// Replay re-executes a repro's program and reports whether the same
+// failure reproduced. Repros that predate the category field fall back to
+// the coarser sentinel match.
+func Replay(r Repro) (Result, bool) {
+	res := RunProgram(r.Program)
+	if r.Category != "" {
+		return res, r.Sentinel != "none" && CategoryOf(res.Err) == r.Category
+	}
+	return res, r.Sentinel != "none" && SentinelOf(res.Err) == r.Sentinel
+}

@@ -1,0 +1,133 @@
+package stress
+
+import (
+	"cohesion/internal/addr"
+	"cohesion/internal/cluster"
+	"cohesion/internal/config"
+	"cohesion/internal/machine"
+	"cohesion/internal/msg"
+	"cohesion/internal/region"
+	"cohesion/internal/stats"
+)
+
+// maxCycles bounds a stress run; legitimate programs finish far earlier,
+// and wedges are caught by the watchdog long before this.
+const maxCycles = 500_000_000
+
+// BuildMachine constructs the pressure machine for a stress config: a
+// deliberately small L2 (constant evictions and recalls) and a small
+// sparse directory, with the online oracle always attached.
+func BuildMachine(cfg Config) (*machine.Machine, error) {
+	mc := config.Scaled(cfg.Clusters).WithMode(cfg.mode())
+	if cfg.mode() != config.SWcc {
+		mc = mc.WithDirectory(config.DirSparse, 256, 8)
+	}
+	mc.L2Size = 1 << 10 // 32 lines: fuzz lines collide and evict constantly
+	mc.L2Assoc = 4
+	mc.OracleEnabled = true
+	mc.TraceRingSize = cfg.TraceRing
+	if cfg.Faults {
+		mc.Faults = config.DefaultFaultPlan(cfg.FaultSeed)
+	}
+	mc.Label = "stress-" + cfg.Mode
+	return machine.New(mc)
+}
+
+// Result is one stress run's outcome. Err is nil for a clean run; Cycles
+// and Fingerprint are the determinism witnesses (two runs of the same
+// Program must agree bit-for-bit).
+type Result struct {
+	Err         error
+	Cycles      uint64
+	Fingerprint uint64
+	Checks      uint64 // oracle invariant evaluations
+	Trace       []stats.TraceEntry
+}
+
+// RunProgram executes a stress program to completion or first failure
+// (oracle violation, deadlock, retry exhaustion, quiescence invariant).
+func RunProgram(p Program) Result {
+	cfg := p.Cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{Err: err}
+	}
+	m, err := BuildMachine(cfg)
+	if err != nil {
+		return Result{Err: err}
+	}
+	if cfg.mode() == config.Cohesion {
+		// Odd-indexed lines (the private corruption line included, when
+		// odd) start in the SWcc domain, matching LineAddr's split.
+		for i := 1; i <= cfg.Lines; i += 2 {
+			m.PresetSWcc(addr.Range{Base: cfg.LineAddr(i), Size: addr.LineBytes})
+		}
+	}
+	banks := m.Cfg.L3Banks
+	for ci := range p.Cores {
+		ops := p.Cores[ci].Ops
+		core := (ci/cfg.WorkersPerCluster)*m.Cfg.CoresPerCluster + ci%cfg.WorkersPerCluster
+		m.StartProgram(core, func(c *cluster.Core) {
+			c.SetCode(addr.CodeBase, 256)
+			for _, op := range ops {
+				execOp(m, c, cfg, banks, op)
+			}
+		})
+	}
+	var res Result
+	err = m.Simulate(maxCycles)
+	if err == nil {
+		err = m.CheckInvariants()
+	}
+	if err == nil {
+		m.DrainToMemory()
+		res.Fingerprint = m.Store.Fingerprint()
+		res.Cycles = m.Run.Cycles
+	} else {
+		res.Cycles = uint64(m.Q.Now())
+	}
+	res.Err = err
+	if m.Run.Trace != nil {
+		res.Trace = m.Run.Trace.Entries()
+	}
+	if o := m.Oracle(); o != nil {
+		res.Checks = o.Checks
+	}
+	return res
+}
+
+var atomicOps = []msg.AtomicOp{msg.AtomicAdd, msg.AtomicOr, msg.AtomicXchg}
+
+// execOp performs one schedule step on a core. The corrupt op runs
+// host-side — the machine is paused between Do calls — and models a
+// protocol corrupting memory behind the oracle's back.
+func execOp(m *machine.Machine, c *cluster.Core, cfg Config, banks int, op Op) {
+	a := cfg.LineAddr(op.Line) + addr.Addr(op.Word*addr.WordBytes)
+	switch op.Kind {
+	case OpLoad:
+		c.Do(cluster.Op{Kind: cluster.OpLoad, Addr: a})
+	case OpStore:
+		c.Do(cluster.Op{Kind: cluster.OpStore, Addr: a, Value: op.Value})
+	case OpAtomic:
+		c.Do(cluster.Op{Kind: cluster.OpAtomic, Addr: a, AOp: atomicOps[op.Value%3], Value: op.Value})
+	case OpUncLoad:
+		c.Do(cluster.Op{Kind: cluster.OpUncLoad, Addr: a})
+	case OpUncStore:
+		c.Do(cluster.Op{Kind: cluster.OpUncStore, Addr: a, Value: op.Value})
+	case OpFlush:
+		c.Do(cluster.Op{Kind: cluster.OpFlush, Addr: a})
+	case OpInv:
+		c.Do(cluster.Op{Kind: cluster.OpInv, Addr: a})
+	case OpToSW, OpToHW:
+		wa := region.TblWordAddr(a, banks)
+		bit := uint32(1) << region.TblBitIndex(a)
+		if op.Kind == OpToSW {
+			c.Do(cluster.Op{Kind: cluster.OpAtomic, Addr: wa, AOp: msg.AtomicOr, Value: bit})
+		} else {
+			c.Do(cluster.Op{Kind: cluster.OpAtomic, Addr: wa, AOp: msg.AtomicAnd, Value: ^bit})
+		}
+	case OpWork:
+		c.Do(cluster.Op{Kind: cluster.OpWork, Cycles: int64(op.Value)})
+	case OpCorrupt:
+		m.Store.WriteWord(a, op.Value)
+	}
+}

@@ -1,0 +1,87 @@
+package stress
+
+// Shrink reduces a failing program to a smaller one that still fails with
+// the same category (see CategoryOf): whole cores are dropped (last to
+// first), each
+// surviving core's schedule is delta-debugged (chunk sizes halving from
+// n/2 to 1), and finally unused trailing clusters are trimmed. maxRuns
+// bounds the total candidate executions (0 = a generous default). Returns
+// the shrunken program and the number of candidate runs spent.
+func Shrink(p Program, category string, maxRuns int) (Program, int) {
+	if maxRuns <= 0 {
+		maxRuns = 500
+	}
+	runs := 0
+	fails := func(q Program) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		return CategoryOf(RunProgram(q).Err) == category
+	}
+
+	// Pass 1: drop whole cores, last to first, to a fixpoint.
+	for again := true; again; {
+		again = false
+		for ci := len(p.Cores) - 1; ci >= 0 && len(p.Cores) > 1; ci-- {
+			q := p
+			q.Cores = append(append([]coreOps{}, p.Cores[:ci]...), p.Cores[ci+1:]...)
+			if fails(q) {
+				p = q
+				again = true
+			}
+		}
+	}
+
+	// Pass 2: ddmin each core's schedule.
+	for ci := range p.Cores {
+		p.Cores[ci].Ops = shrinkOps(p.Cores[ci].Ops, func(ops []Op) bool {
+			q := p
+			q.Cores = append([]coreOps{}, p.Cores...)
+			q.Cores[ci].Ops = ops
+			return fails(q)
+		})
+	}
+
+	// Pass 3: trim clusters no remaining core maps to.
+	used := 0
+	for ci := range p.Cores {
+		if cl := ci/p.Cfg.WorkersPerCluster + 1; cl > used {
+			used = cl
+		}
+	}
+	if used >= 1 && used < p.Cfg.Clusters {
+		q := p
+		q.Cfg.Clusters = used
+		if fails(q) {
+			p = q
+		}
+	}
+	return p, runs
+}
+
+// shrinkOps is the ddmin inner loop: repeatedly try deleting chunks,
+// halving the chunk size whenever a full sweep removes nothing.
+func shrinkOps(ops []Op, fails func([]Op) bool) []Op {
+	for chunk := len(ops) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start < len(ops); {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			cand := append(append([]Op{}, ops[:start]...), ops[end:]...)
+			if fails(cand) {
+				ops = cand
+				removed = true
+				// Re-test the same start index against the shifted tail.
+			} else {
+				start += chunk
+			}
+		}
+		if !removed {
+			chunk /= 2
+		}
+	}
+	return ops
+}

@@ -1,0 +1,176 @@
+package stress
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cohesion/internal/simerr"
+)
+
+// opCount is the total schedule length of a program.
+func opCount(p Program) int {
+	n := 0
+	for _, c := range p.Cores {
+		n += len(c.Ops)
+	}
+	return n
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, mode := range []string{"hwcc", "swcc", "cohesion"} {
+		a, err := Generate(Config{Seed: 42, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(Config{Seed: 42, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("mode %s: same seed generated different programs", mode)
+		}
+		c, err := Generate(Config{Seed: 43, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Cores, c.Cores) {
+			t.Errorf("mode %s: different seeds generated identical schedules", mode)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p, err := Generate(Config{Seed: 7, Mode: "cohesion", Clusters: 2, OpsPerCore: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := RunProgram(p)
+	r2 := RunProgram(p)
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatalf("clean program failed: %v / %v", r1.Err, r2.Err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Fingerprint != r2.Fingerprint {
+		t.Errorf("nondeterministic run: cycles %d vs %d, fingerprint %#x vs %#x",
+			r1.Cycles, r2.Cycles, r1.Fingerprint, r2.Fingerprint)
+	}
+	if r1.Checks == 0 {
+		t.Error("oracle performed no checks during a stress run")
+	}
+}
+
+func TestFuzzSmoke(t *testing.T) {
+	modes := []string{"cohesion", "hwcc", "swcc"}
+	for i := 0; i < 24; i++ {
+		cfg := Config{Seed: int64(1000 + i*137), Mode: modes[i%3], OpsPerCore: 50}
+		if i%4 == 3 {
+			cfg.Faults = true
+			cfg.FaultSeed = int64(i)
+		}
+		p, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunProgram(p)
+		if res.Err != nil {
+			t.Errorf("seed %d mode %s faults=%v: %v", cfg.Seed, cfg.Mode, cfg.Faults, res.Err)
+		}
+	}
+}
+
+func TestCorruptionDetectedAndReproRoundTrip(t *testing.T) {
+	p, err := Generate(Config{Seed: 5, Mode: "cohesion", InjectCorrupt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunProgram(p)
+	if res.Err == nil {
+		t.Fatal("planted corruption was not detected")
+	}
+	if !errors.Is(res.Err, simerr.ErrProtocolInvariant) {
+		t.Fatalf("corruption surfaced as %v, want ErrProtocolInvariant", res.Err)
+	}
+	cat := CategoryOf(res.Err)
+	if cat != "protocol-invariant/corrupt uncached load" {
+		t.Fatalf("category = %q, want protocol-invariant/corrupt uncached load", cat)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("failing run captured no trace ring")
+	}
+	if len(res.Trace) > p.Cfg.WithDefaults().TraceRing {
+		t.Errorf("trace ring holds %d entries, capacity %d", len(res.Trace), p.Cfg.WithDefaults().TraceRing)
+	}
+
+	path := filepath.Join(t.TempDir(), "repro.json")
+	r := NewRepro(p, res)
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Program, p) {
+		t.Error("repro program did not survive the JSON round trip")
+	}
+	if back.Category != cat {
+		t.Errorf("repro category = %q, want %q", back.Category, cat)
+	}
+	res2, same := Replay(back)
+	if !same {
+		t.Fatalf("replay did not reproduce: got %v", res2.Err)
+	}
+}
+
+func TestShrinkYieldsSmallerFailingProgram(t *testing.T) {
+	p, err := Generate(Config{Seed: 9, Mode: "cohesion", InjectCorrupt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunProgram(p)
+	if res.Err == nil {
+		t.Fatal("planted corruption was not detected")
+	}
+	cat := CategoryOf(res.Err)
+	q, runs := Shrink(p, cat, 300)
+	if runs == 0 {
+		t.Fatal("shrinker did not run any candidates")
+	}
+	if opCount(q) >= opCount(p) {
+		t.Errorf("shrunk program has %d ops, original %d — not strictly smaller", opCount(q), opCount(p))
+	}
+	res2 := RunProgram(q)
+	if CategoryOf(res2.Err) != cat {
+		t.Errorf("shrunk program fails as %q, want %q", CategoryOf(res2.Err), cat)
+	}
+	// The corruption motif is 3 ops on one core; the shrinker should get
+	// close to that.
+	if opCount(q) > 12 {
+		t.Errorf("shrunk program still has %d ops, expected a near-minimal schedule", opCount(q))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"bad mode", Config{Mode: "msi"}},
+		{"clusters high", Config{Mode: "hwcc", Clusters: 65}},
+		{"lines high", Config{Mode: "hwcc", Lines: 5000}},
+		{"ops high", Config{Mode: "hwcc", OpsPerCore: 2_000_000}},
+		{"workers high", Config{Mode: "hwcc", WorkersPerCluster: 9}},
+		{"negative ring", Config{Mode: "hwcc", TraceRing: -1}},
+	}
+	for _, tc := range cases {
+		cfg := tc.cfg.WithDefaults()
+		err := cfg.Validate()
+		if !errors.Is(err, simerr.ErrConfig) {
+			t.Errorf("%s: Validate = %v, want ErrConfig", tc.name, err)
+		}
+		if _, err := Generate(tc.cfg); !errors.Is(err, simerr.ErrConfig) {
+			t.Errorf("%s: Generate = %v, want ErrConfig", tc.name, err)
+		}
+	}
+}
