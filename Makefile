@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fmt vet cover clean
+.PHONY: all build test race bench microbench experiments examples fmt vet cover clean
 
 all: build test
 
@@ -16,7 +16,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Performance-tracking harness: event-engine ns+allocs/event, per-kernel
+# events/sec, and the serial-vs-parallel fan-out speedup, written to
+# BENCH_results.json for commit-to-commit comparison.
 bench:
+	$(GO) run ./cmd/cohesion-bench
+
+# The go-test micro-benchmarks (per-package, -benchmem).
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 cover:

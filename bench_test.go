@@ -17,6 +17,7 @@ func benchParams(kernels ...string) ExpParams {
 // BenchmarkFig2MessageTraffic regenerates Figure 2 (SWcc vs optimistic
 // HWcc message counts) and reports the mean HWcc/SWcc message ratio.
 func BenchmarkFig2MessageTraffic(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams("heat", "kmeans", "stencil")
 	for i := 0; i < b.N; i++ {
 		rows, err := Fig2(p)
@@ -39,6 +40,7 @@ func BenchmarkFig2MessageTraffic(b *testing.B) {
 // coherence instructions vs L2 size) and reports the largest-L2 useful
 // invalidation fraction.
 func BenchmarkFig3FlushEfficiency(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams("heat")
 	for i := 0; i < b.N; i++ {
 		rows, err := Fig3(p)
@@ -52,6 +54,7 @@ func BenchmarkFig3FlushEfficiency(b *testing.B) {
 // BenchmarkFig8MessageTraffic regenerates Figure 8 (four design points)
 // and reports the mean Cohesion-relative message count.
 func BenchmarkFig8MessageTraffic(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams("heat", "kmeans")
 	for i := 0; i < b.N; i++ {
 		rows, err := Fig8(p)
@@ -73,6 +76,7 @@ func BenchmarkFig8MessageTraffic(b *testing.B) {
 // BenchmarkFig9aDirectorySweepHWcc regenerates Figure 9a and reports the
 // worst slowdown at the smallest directory.
 func BenchmarkFig9aDirectorySweepHWcc(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams("sobel")
 	p.Scale = 3
 	p.DirSizes = []int{16, 128, 512}
@@ -94,6 +98,7 @@ func BenchmarkFig9aDirectorySweepHWcc(b *testing.B) {
 // BenchmarkFig9bDirectorySweepCohesion regenerates Figure 9b and reports
 // Cohesion's worst slowdown (should stay ~1.0).
 func BenchmarkFig9bDirectorySweepCohesion(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams("sobel")
 	p.Scale = 3
 	p.DirSizes = []int{16, 128, 512}
@@ -115,6 +120,7 @@ func BenchmarkFig9bDirectorySweepCohesion(b *testing.B) {
 // BenchmarkFig9cOccupancy regenerates Figure 9c and reports the aggregate
 // HWcc/Cohesion mean-occupancy ratio (paper: ~2.1x).
 func BenchmarkFig9cOccupancy(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams("cg", "kmeans", "heat")
 	for i := 0; i < b.N; i++ {
 		rows, err := Fig9c(p)
@@ -136,6 +142,7 @@ func BenchmarkFig9cOccupancy(b *testing.B) {
 // BenchmarkFig10Runtime regenerates Figure 10 and reports the mean
 // HWcc-real runtime normalized to Cohesion.
 func BenchmarkFig10Runtime(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams("heat", "sobel")
 	for i := 0; i < b.N; i++ {
 		rows, err := Fig10(p)
@@ -156,6 +163,7 @@ func BenchmarkFig10Runtime(b *testing.B) {
 
 // BenchmarkTableArea regenerates the §4.4 storage estimates.
 func BenchmarkTableArea(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := AreaEstimates()
 		b.ReportMetric(rows[0].PercentOfL2, "fullmap-%L2")
@@ -165,10 +173,12 @@ func BenchmarkTableArea(b *testing.B) {
 // BenchmarkKernel measures one simulation per iteration for every kernel
 // and memory model (simulated cycles reported as the metric).
 func BenchmarkKernel(b *testing.B) {
+	b.ReportAllocs()
 	for _, kernel := range KernelNames() {
 		for _, mode := range []Mode{SWcc, HWcc, Cohesion} {
 			kernel, mode := kernel, mode
 			b.Run(fmt.Sprintf("%s/%v", kernel, mode), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := ScaledConfig(2).WithMode(mode)
 				var cycles uint64
 				for i := 0; i < b.N; i++ {
@@ -190,9 +200,11 @@ func BenchmarkKernel(b *testing.B) {
 // releases: without them the directory silts up with stale sharers and
 // invalidation probes go to clusters that no longer hold the line.
 func BenchmarkAblationReadRelease(b *testing.B) {
+	b.ReportAllocs()
 	for _, on := range []bool{true, false} {
 		on := on
 		b.Run(fmt.Sprintf("releases=%v", on), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := ScaledConfig(4).WithMode(HWcc)
 			cfg.L2Size = 8 << 10
 			cfg.L3Size = cfg.L3Banks * (32 << 10)
@@ -213,9 +225,11 @@ func BenchmarkAblationReadRelease(b *testing.B) {
 // coarse-grain region table: without it, code/stack/immutable lines fall
 // through to the fine-grain table and the directory.
 func BenchmarkAblationCoarseTable(b *testing.B) {
+	b.ReportAllocs()
 	for _, on := range []bool{true, false} {
 		on := on
 		b.Run(fmt.Sprintf("coarse=%v", on), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := ScaledConfig(4).WithMode(Cohesion).WithDirectory(DirInfinite, 0, 0)
 			cfg.CoarseTable = on
 			for i := 0; i < b.N; i++ {
@@ -233,9 +247,11 @@ func BenchmarkAblationCoarseTable(b *testing.B) {
 // served from the L3 versus always going to DRAM (paper §3.4 considers
 // the table "amenable to on-die caching").
 func BenchmarkAblationTableCaching(b *testing.B) {
+	b.ReportAllocs()
 	for _, on := range []bool{true, false} {
 		on := on
 		b.Run(fmt.Sprintf("cached=%v", on), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := ScaledConfig(4).WithMode(Cohesion).WithDirectory(DirInfinite, 0, 0)
 			cfg.TableCachedInL3 = on
 			for i := 0; i < b.N; i++ {
@@ -252,9 +268,11 @@ func BenchmarkAblationTableCaching(b *testing.B) {
 // BenchmarkAblationMSHR varies the cluster's outstanding-miss budget: a
 // single MSHR serializes all eight cores' misses.
 func BenchmarkAblationMSHR(b *testing.B) {
+	b.ReportAllocs()
 	for _, mshrs := range []int{1, 2, 4, 16} {
 		mshrs := mshrs
 		b.Run(fmt.Sprintf("mshrs=%d", mshrs), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := ScaledConfig(4).WithMode(Cohesion)
 			cfg.L2MSHRs = mshrs
 			for i := 0; i < b.N; i++ {
@@ -276,7 +294,9 @@ func BenchmarkAblationMSHR(b *testing.B) {
 // the distributed variant's O(workers^2) termination scan costs more than
 // the contention it removes. The knob exists to measure that tradeoff.
 func BenchmarkAblationTaskQueue(b *testing.B) {
+	b.ReportAllocs()
 	run := func(b *testing.B, distributed bool) {
+		b.ReportAllocs()
 		const workers = 16
 		for i := 0; i < b.N; i++ {
 			sys, err := NewSystem(ScaledConfig(8).WithMode(Cohesion), workers)

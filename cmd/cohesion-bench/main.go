@@ -1,0 +1,249 @@
+// Command cohesion-bench is the repository's performance-tracking harness.
+// It measures three things and writes them to a JSON file (default
+// BENCH_results.json) so successive commits can be compared:
+//
+//  1. The event-engine micro-benchmark: ns and heap allocations per
+//     scheduled+fired event in steady state (the zero-allocation property).
+//  2. Full-simulation throughput: events per wall-clock second, simulated
+//     cycles, and heap allocations per event for each kernel x memory-model
+//     pair.
+//  3. Experiment fan-out: the Figure 9a directory sweep run serially
+//     (-parallel 1) and with one worker per CPU, reporting the wall-clock
+//     speedup and checking the two result tables are identical.
+//
+// Examples:
+//
+//	cohesion-bench                   # full suite, writes BENCH_results.json
+//	cohesion-bench -short            # CI smoke: two kernels, small sweep
+//	cohesion-bench -out /tmp/b.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"cohesion"
+	"cohesion/internal/event"
+)
+
+// Report is the schema of BENCH_results.json.
+type Report struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Short      bool   `json:"short"`
+	Timestamp  string `json:"timestamp"`
+
+	EventEngine EventEngineBench `json:"event_engine"`
+	Simulations []SimBench       `json:"simulations"`
+	Fanout      FanoutBench      `json:"fanout"`
+}
+
+// EventEngineBench is the schedule+fire micro-benchmark (per event).
+type EventEngineBench struct {
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	Iterations     int     `json:"iterations"`
+}
+
+// SimBench is one full kernel simulation's throughput measurement.
+type SimBench struct {
+	Kernel         string  `json:"kernel"`
+	Mode           string  `json:"mode"`
+	Cycles         uint64  `json:"cycles"`
+	Events         uint64  `json:"events"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	Fingerprint    uint64  `json:"mem_fingerprint"`
+}
+
+// FanoutBench compares the Figure 9a sweep serial vs parallel.
+type FanoutBench struct {
+	Points          int     `json:"points"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	ParallelWorkers int     `json:"parallel_workers"`
+	Speedup         float64 `json:"speedup"`
+	TablesIdentical bool    `json:"tables_identical"`
+}
+
+func main() {
+	var (
+		short    = flag.Bool("short", false, "CI smoke mode: two kernels, small sweep")
+		parallel = flag.Int("parallel", 0, "workers for the parallel fan-out leg (0 = one per CPU)")
+		out      = flag.String("out", "BENCH_results.json", "report file")
+		seed     = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Short:      *short,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	fmt.Println("== event engine: schedule+fire micro-benchmark ==")
+	rep.EventEngine = benchEventEngine()
+	fmt.Printf("  %.1f ns/event, %.3f allocs/event, %.1f B/event (%d iterations)\n",
+		rep.EventEngine.NsPerEvent, rep.EventEngine.AllocsPerEvent,
+		rep.EventEngine.BytesPerEvent, rep.EventEngine.Iterations)
+
+	fmt.Println("== full simulations: events per wall-clock second ==")
+	kernelList := cohesion.KernelNames()
+	scale := 2
+	if *short {
+		kernelList = kernelList[:2]
+		scale = 1
+	}
+	for _, kernel := range kernelList {
+		for _, mode := range []cohesion.Mode{cohesion.SWcc, cohesion.HWcc, cohesion.Cohesion} {
+			sb, err := benchSim(kernel, mode, scale, *seed)
+			if err != nil {
+				fatal("%s/%v: %v", kernel, mode, err)
+			}
+			rep.Simulations = append(rep.Simulations, sb)
+			fmt.Printf("  %-8s %-8v %9.0f events/s  (%d events, %.2fs wall, %.2f allocs/event)\n",
+				kernel, mode, sb.EventsPerSec, sb.Events, sb.WallSeconds, sb.AllocsPerEvent)
+		}
+	}
+
+	fmt.Println("== experiment fan-out: Figure 9a sweep, serial vs parallel ==")
+	fb, err := benchFanout(*short, *parallel, *seed)
+	if err != nil {
+		fatal("fanout: %v", err)
+	}
+	rep.Fanout = fb
+	fmt.Printf("  %d points: serial %.2fs, parallel(%d) %.2fs -> %.2fx speedup, tables identical: %v\n",
+		fb.Points, fb.SerialSeconds, fb.ParallelWorkers, fb.ParallelSeconds, fb.Speedup, fb.TablesIdentical)
+	if !fb.TablesIdentical {
+		fatal("parallel fan-out produced a different table than the serial run")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("report written to %s\n", *out)
+}
+
+// benchEventEngine times the steady-state schedule+fire cycle against a
+// warm 1024-deep queue — the same loop as the internal/event benchmark.
+func benchEventEngine() EventEngineBench {
+	nop := func() {}
+	var q event.Queue
+	const batch = 1024
+	for i := 0; i < batch; i++ {
+		q.After(event.Cycle(i%64), nop)
+	}
+	q.Run(0)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q.After(event.Cycle(i%64), nop)
+			q.Step()
+		}
+	})
+	return EventEngineBench{
+		NsPerEvent:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerEvent: float64(r.MemAllocs) / float64(r.N),
+		BytesPerEvent:  float64(r.MemBytes) / float64(r.N),
+		Iterations:     r.N,
+	}
+}
+
+// benchSim runs one kernel once and reports wall-clock throughput plus
+// heap allocations per event (runtime.MemStats mallocs delta over the run,
+// which includes machine construction — the steady-state floor is the
+// event-engine figure above).
+func benchSim(kernel string, mode cohesion.Mode, scale int, seed int64) (SimBench, error) {
+	cfg := cohesion.ScaledConfig(4).WithMode(mode)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := cohesion.Run(cohesion.RunConfig{
+		Machine: cfg,
+		Kernel:  kernel,
+		Scale:   scale,
+		Seed:    seed,
+		Verify:  true,
+	})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return SimBench{}, err
+	}
+	events := res.Stats.Events
+	allocs := float64(after.Mallocs - before.Mallocs)
+	return SimBench{
+		Kernel:         kernel,
+		Mode:           mode.String(),
+		Cycles:         res.Cycles(),
+		Events:         events,
+		WallSeconds:    wall.Seconds(),
+		EventsPerSec:   float64(events) / wall.Seconds(),
+		AllocsPerEvent: allocs / float64(events),
+		Fingerprint:    res.MemFingerprint,
+	}, nil
+}
+
+// benchFanout times the Figure 9a directory sweep serially and with one
+// worker per CPU, and checks the assembled tables are identical — the
+// determinism contract of the parallel harness.
+func benchFanout(short bool, parallel int, seed int64) (FanoutBench, error) {
+	p := cohesion.ExpParams{Clusters: 4, Workers: 8, Scale: 2, Seed: seed}
+	if short {
+		p.Kernels = cohesion.KernelNames()[:2]
+		p.Scale = 1
+		p.DirSizes = []int{32, 128}
+	} else {
+		p.DirSizes = []int{32, 128, 512}
+	}
+
+	p.Parallel = 1
+	start := time.Now()
+	serial, err := cohesion.Fig9Sweep(p, cohesion.HWcc)
+	if err != nil {
+		return FanoutBench{}, err
+	}
+	serialWall := time.Since(start)
+
+	if parallel == 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	p.Parallel = parallel
+	start = time.Now()
+	par, err := cohesion.Fig9Sweep(p, cohesion.HWcc)
+	if err != nil {
+		return FanoutBench{}, err
+	}
+	parWall := time.Since(start)
+
+	return FanoutBench{
+		Points:          len(serial),
+		SerialSeconds:   serialWall.Seconds(),
+		ParallelSeconds: parWall.Seconds(),
+		ParallelWorkers: parallel,
+		Speedup:         serialWall.Seconds() / parWall.Seconds(),
+		TablesIdentical: reflect.DeepEqual(serial, par),
+	}, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cohesion-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -15,25 +15,48 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"cohesion"
 	"cohesion/internal/stats"
 )
 
-var csvOut = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+var (
+	csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	parallel = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = one per CPU, 1 = serial)")
+)
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which figure: 2, 3, 8, 9a, 9b, 9c, 10, area, table3, summary, scaling, all")
-		clusters = flag.Int("clusters", 0, "clusters (0 = harness default)")
-		workers  = flag.Int("workers", 0, "worker cores (0 = harness default)")
-		scale    = flag.Int("scale", 0, "kernel scale (0 = harness default)")
-		seed     = flag.Int64("seed", 42, "workload seed")
-		kernels  = flag.String("kernels", "", "comma-separated kernel subset (default all)")
-		verify   = flag.Bool("verify", false, "verify kernel outputs on every run (slower)")
+		fig        = flag.String("fig", "all", "which figure: 2, 3, 8, 9a, 9b, 9c, 10, area, table3, summary, scaling, all")
+		clusters   = flag.Int("clusters", 0, "clusters (0 = harness default)")
+		workers    = flag.Int("workers", 0, "worker cores (0 = harness default)")
+		scale      = flag.Int("scale", 0, "kernel scale (0 = harness default)")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		kernels    = flag.String("kernels", "", "comma-separated kernel subset (default all)")
+		verify     = flag.Bool("verify", false, "verify kernel outputs on every run (slower)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			check(err)
+			defer f.Close()
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+		}()
+	}
 
 	p := cohesion.ExpParams{
 		Clusters: *clusters,
@@ -41,6 +64,7 @@ func main() {
 		Scale:    *scale,
 		Seed:     *seed,
 		Verify:   *verify,
+		Parallel: *parallel,
 	}
 	if *kernels != "" {
 		p.Kernels = strings.Split(*kernels, ",")
@@ -171,7 +195,7 @@ func showScaling(p cohesion.ExpParams) {
 	if len(p.Kernels) > 0 {
 		kernel = p.Kernels[0]
 	}
-	rows, err := cohesion.ScalingStudy(kernel, nil, p.Seed, p.Verify)
+	rows, err := cohesion.ScalingStudy(kernel, nil, p.Seed, p.Verify, p.Parallel)
 	check(err)
 	if *csvOut {
 		fmt.Print(cohesion.ScalingCSV(rows))

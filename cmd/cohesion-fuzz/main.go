@@ -17,7 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"cohesion/internal/pool"
 	"cohesion/internal/stress"
 )
 
@@ -38,56 +41,118 @@ func main() {
 		replay    = flag.String("replay", "", "replay a saved repro file instead of fuzzing")
 		shrink    = flag.Bool("shrink", true, "shrink a failing program before writing the repro")
 		maxShrink = flag.Int("max-shrink-runs", 500, "re-execution budget for shrinking")
+		parallel  = flag.Int("parallel", 0, "worker goroutines for fuzz iterations (0 = one per CPU, 1 = serial)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	writeMemProfile := func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal("%v", err)
+		}
+	}
+	defer writeMemProfile()
+
 	if *replay != "" {
-		os.Exit(replayFile(*replay, *shrink, *maxShrink, *out))
+		code := replayFile(*replay, *shrink, *maxShrink, *out)
+		writeMemProfile()
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(code)
 	}
 
 	modes := []string{"cohesion", "hwcc", "swcc"}
 	if *mode != "" {
 		modes = []string{*mode}
 	}
+
+	// Iterations are fully independent (each derives its own seeds), so they
+	// fan out across worker goroutines in index-ordered chunks. Failure
+	// handling stays deterministic: within a chunk every iteration runs to
+	// completion and the lowest-index failure wins, so the reported failure
+	// is the same one a serial sweep (-parallel 1) would have hit first.
+	type iterResult struct {
+		cfg  stress.Config
+		prog stress.Program
+		res  stress.Result
+	}
+	nworkers := pool.Workers(*parallel)
+	chunk := 4 * nworkers
 	var totalChecks, totalCycles uint64
-	for i := 0; i < *iters; i++ {
-		cfg := stress.Config{
-			Seed:              *seed + int64(i)*1_000_003,
-			Mode:              modes[i%len(modes)],
-			Clusters:          *clusters,
-			Lines:             *lines,
-			OpsPerCore:        *ops,
-			WorkersPerCluster: *workers,
-			Faults:            *faults,
-			FaultSeed:         *faultSeed + int64(i),
-			InjectCorrupt:     *corrupt,
-			TraceRing:         *traceN,
+	for lo := 0; lo < *iters; lo += chunk {
+		hi := lo + chunk
+		if hi > *iters {
+			hi = *iters
 		}
-		p, err := stress.Generate(cfg)
-		if err != nil {
-			fatal("%v", err)
-		}
-		res := stress.RunProgram(p)
-		if res.Err == nil {
-			totalChecks += res.Checks
-			totalCycles += res.Cycles
-			continue
-		}
-		fmt.Printf("iter %d (seed %d, mode %s, faults %v) FAILED:\n  %v\n",
-			i, cfg.Seed, cfg.Mode, cfg.Faults, res.Err)
-		category := stress.CategoryOf(res.Err)
-		if *shrink {
-			q, runs := stress.Shrink(p, category, *maxShrink)
-			fmt.Printf("shrunk to %d ops across %d cores in %d runs\n", opCount(q), len(q.Cores), runs)
-			if sres := stress.RunProgram(q); sres.Err != nil && stress.CategoryOf(sres.Err) == category {
-				p, res = q, sres
+		results := pool.Map(hi-lo, nworkers, func(j int) iterResult {
+			i := lo + j
+			cfg := stress.Config{
+				Seed:              *seed + int64(i)*1_000_003,
+				Mode:              modes[i%len(modes)],
+				Clusters:          *clusters,
+				Lines:             *lines,
+				OpsPerCore:        *ops,
+				WorkersPerCluster: *workers,
+				Faults:            *faults,
+				FaultSeed:         *faultSeed + int64(i),
+				InjectCorrupt:     *corrupt,
+				TraceRing:         *traceN,
 			}
+			p, err := stress.Generate(cfg)
+			if err != nil {
+				fatal("%v", err)
+			}
+			return iterResult{cfg: cfg, prog: p, res: stress.RunProgram(p)}
+		})
+		for j, r := range results {
+			if r.res.Err == nil {
+				totalChecks += r.res.Checks
+				totalCycles += r.res.Cycles
+				continue
+			}
+			p, res := r.prog, r.res
+			fmt.Printf("iter %d (seed %d, mode %s, faults %v) FAILED:\n  %v\n",
+				lo+j, r.cfg.Seed, r.cfg.Mode, r.cfg.Faults, res.Err)
+			category := stress.CategoryOf(res.Err)
+			if *shrink {
+				q, runs := stress.Shrink(p, category, *maxShrink)
+				fmt.Printf("shrunk to %d ops across %d cores in %d runs\n", opCount(q), len(q.Cores), runs)
+				if sres := stress.RunProgram(q); sres.Err != nil && stress.CategoryOf(sres.Err) == category {
+					p, res = q, sres
+				}
+			}
+			if err := stress.NewRepro(p, res).Save(*out); err != nil {
+				fatal("writing repro: %v", err)
+			}
+			fmt.Printf("repro written to %s (category %s)\n", *out, category)
+			writeMemProfile()
+			if *cpuprofile != "" {
+				pprof.StopCPUProfile()
+			}
+			os.Exit(1)
 		}
-		if err := stress.NewRepro(p, res).Save(*out); err != nil {
-			fatal("writing repro: %v", err)
-		}
-		fmt.Printf("repro written to %s (category %s)\n", *out, category)
-		os.Exit(1)
 	}
 	fmt.Printf("%d programs clean: %d oracle checks over %d simulated cycles\n",
 		*iters, totalChecks, totalCycles)

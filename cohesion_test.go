@@ -276,7 +276,7 @@ func TestCSVRenderers(t *testing.T) {
 }
 
 func TestScalingStudyShape(t *testing.T) {
-	rows, err := ScalingStudy("heat", []int{2, 8}, 7, false)
+	rows, err := ScalingStudy("heat", []int{2, 8}, 7, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

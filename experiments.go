@@ -8,6 +8,7 @@ import (
 	"cohesion/internal/config"
 	"cohesion/internal/directory"
 	"cohesion/internal/msg"
+	"cohesion/internal/pool"
 	"cohesion/internal/stats"
 )
 
@@ -22,6 +23,12 @@ type ExpParams struct {
 	Kernels  []string // default: all eight
 	DirSizes []int    // Fig 9 sweep, entries per bank (default 32..1024)
 	Verify   bool     // verify kernel outputs on every run
+
+	// Parallel is the number of host goroutines running independent
+	// simulations (0 = GOMAXPROCS, 1 = serial). Every simulation is
+	// self-contained, and results are slotted by job index, so the
+	// assembled tables are bit-identical at any setting.
+	Parallel int
 }
 
 func (p ExpParams) withDefaults() ExpParams {
@@ -98,6 +105,28 @@ func (p ExpParams) run(kernel string, cfg MachineConfig) (*Result, error) {
 	})
 }
 
+// runJob names one simulation of a figure's sweep.
+type runJob struct {
+	kernel string
+	name   string // configuration label, used in error messages
+	cfg    MachineConfig
+}
+
+// runAll executes a figure's independent simulations across p.Parallel
+// host goroutines, returning results slotted by job index. The job list
+// fully determines each simulation (configuration, kernel, seed), so the
+// result slice — and everything derived from it — is identical at any
+// parallelism; a failure reports the lowest-index failing job.
+func (p ExpParams) runAll(jobs []runJob) ([]*Result, error) {
+	return pool.MapErr(len(jobs), p.Parallel, func(i int) (*Result, error) {
+		res, err := p.run(jobs[i].kernel, jobs[i].cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", jobs[i].kernel, jobs[i].name, err)
+		}
+		return res, nil
+	})
+}
+
 // MessageBreakdown is one stacked bar of Figures 2 and 8: a kernel's
 // L2-output message counts under one configuration, with the total
 // normalized to the same kernel's SWcc total.
@@ -113,21 +142,28 @@ func breakdownRows(p ExpParams, configs []struct {
 	name string
 	cfg  MachineConfig
 }) ([]MessageBreakdown, error) {
-	var out []MessageBreakdown
+	var jobs []runJob
 	for _, k := range p.Kernels {
+		for _, c := range configs {
+			jobs = append(jobs, runJob{kernel: k, name: c.name, cfg: c.cfg})
+		}
+	}
+	results, err := p.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []MessageBreakdown
+	for ki, k := range p.Kernels {
 		var swccTotal uint64
-		for i, c := range configs {
-			res, err := p.run(k, c.cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", k, c.name, err)
-			}
+		for ci, c := range configs {
+			res := results[ki*len(configs)+ci]
 			row := MessageBreakdown{
 				Kernel: k,
 				Config: c.name,
 				Counts: res.Stats.Messages,
 				Total:  res.TotalMessages(),
 			}
-			if i == 0 {
+			if ci == 0 {
 				swccTotal = row.Total
 			}
 			if swccTotal > 0 {
@@ -181,15 +217,23 @@ type FlushEfficiency struct {
 // memory system (8K default L2) the equivalent 16x sweep is 2K..32K.
 func Fig3(p ExpParams) ([]FlushEfficiency, error) {
 	p = p.withDefaults()
-	var out []FlushEfficiency
+	l2kbs := []int{2, 4, 8, 16, 32}
+	var jobs []runJob
 	for _, k := range p.Kernels {
-		for _, kb := range []int{2, 4, 8, 16, 32} {
+		for _, kb := range l2kbs {
 			cfg := p.swccCfg()
 			cfg.L2Size = kb << 10
-			res, err := p.run(k, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/L2=%dK: %w", k, kb, err)
-			}
+			jobs = append(jobs, runJob{kernel: k, name: fmt.Sprintf("L2=%dK", kb), cfg: cfg})
+		}
+	}
+	results, err := p.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []FlushEfficiency
+	for ki, k := range p.Kernels {
+		for kbi, kb := range l2kbs {
+			res := results[ki*len(l2kbs)+kbi]
 			out = append(out, FlushEfficiency{
 				Kernel:    k,
 				L2KB:      kb,
@@ -217,23 +261,29 @@ func Fig9Sweep(p ExpParams, mode Mode) ([]DirSweepPoint, error) {
 	if mode != HWcc && mode != Cohesion {
 		return nil, fmt.Errorf("cohesion: Fig9 sweeps HWcc or Cohesion, not %v", mode)
 	}
-	var out []DirSweepPoint
+	stride := 1 + len(p.DirSizes) // infinite baseline + each directory size
+	var jobs []runJob
 	for _, k := range p.Kernels {
 		base := p.hwccIdealCfg()
 		if mode == Cohesion {
 			base = p.cohesionIdealCfg()
 		}
-		ref, err := p.run(k, base)
-		if err != nil {
-			return nil, fmt.Errorf("%s/infinite: %w", k, err)
-		}
-		out = append(out, DirSweepPoint{Kernel: k, EntriesPerBank: 0, Cycles: ref.Cycles(), Slowdown: 1})
+		jobs = append(jobs, runJob{kernel: k, name: "infinite", cfg: base})
 		for _, entries := range p.DirSizes {
 			cfg := base.WithDirectory(DirSparse, entries, 0) // fully associative
-			res, err := p.run(k, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%d: %w", k, entries, err)
-			}
+			jobs = append(jobs, runJob{kernel: k, name: fmt.Sprint(entries), cfg: cfg})
+		}
+	}
+	results, err := p.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []DirSweepPoint
+	for ki, k := range p.Kernels {
+		ref := results[ki*stride]
+		out = append(out, DirSweepPoint{Kernel: k, EntriesPerBank: 0, Cycles: ref.Cycles(), Slowdown: 1})
+		for di, entries := range p.DirSizes {
+			res := results[ki*stride+1+di]
 			out = append(out, DirSweepPoint{
 				Kernel:         k,
 				EntriesPerBank: entries,
@@ -259,20 +309,27 @@ type OccupancyRow struct {
 // directories.
 func Fig9c(p ExpParams) ([]OccupancyRow, error) {
 	p = p.withDefaults()
-	var out []OccupancyRow
+	configs := []struct {
+		name string
+		cfg  MachineConfig
+	}{
+		{"Cohesion", p.cohesionIdealCfg()},
+		{"HWcc", p.hwccIdealCfg()},
+	}
+	var jobs []runJob
 	for _, k := range p.Kernels {
-		for _, c := range []struct {
-			name string
-			cfg  MachineConfig
-		}{
-			{"Cohesion", p.cohesionIdealCfg()},
-			{"HWcc", p.hwccIdealCfg()},
-		} {
-			res, err := p.run(k, c.cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", k, c.name, err)
-			}
-			o := &res.Stats.Occupancy
+		for _, c := range configs {
+			jobs = append(jobs, runJob{kernel: k, name: c.name, cfg: c.cfg})
+		}
+	}
+	results, err := p.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []OccupancyRow
+	for ki, k := range p.Kernels {
+		for ci, c := range configs {
+			o := &results[ki*len(configs)+ci].Stats.Occupancy
 			out = append(out, OccupancyRow{
 				Kernel:    k,
 				Config:    c.name,
@@ -311,17 +368,21 @@ func Fig10(p ExpParams) ([]RuntimeRow, error) {
 		{"HWccReal", p.hwccRealCfg()},
 		{"HWcc(Dir4B)", p.hwccDir4BCfg()},
 	}
-	var out []RuntimeRow
+	var jobs []runJob
 	for _, k := range p.Kernels {
-		var base uint64
-		for i, c := range configs {
-			res, err := p.run(k, c.cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", k, c.name, err)
-			}
-			if i == 0 {
-				base = res.Cycles()
-			}
+		for _, c := range configs {
+			jobs = append(jobs, runJob{kernel: k, name: c.name, cfg: c.cfg})
+		}
+	}
+	results, err := p.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []RuntimeRow
+	for ki, k := range p.Kernels {
+		base := results[ki*len(configs)].Cycles()
+		for ci, c := range configs {
+			res := results[ki*len(configs)+ci]
 			out = append(out, RuntimeRow{
 				Kernel:     k,
 				Config:     c.name,

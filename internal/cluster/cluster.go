@@ -15,6 +15,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"cohesion/internal/addr"
 	"cohesion/internal/cache"
@@ -103,14 +104,44 @@ type Core struct {
 	pending Op
 
 	raceTrapped bool // a table write's ack carried a race exception
+
+	// Pre-bound continuation funcs for the per-operation issue ladder
+	// (fetch -> step -> execute -> complete). Binding them once at
+	// construction keeps the hot path from allocating a fresh closure per
+	// operation; they are scheduled millions of times per simulation.
+	fetchFn        func() // cl.fetchNext(c)
+	stepFn         func() // cl.step(c)
+	completeZeroFn func() // cl.complete(c, 0)
+	completeValFn  func(uint32)
 }
+
+// coreShutdown is the panic value Do raises to unwind a program goroutine
+// when the machine aborts a run; StartCore's wrapper swallows it.
+type coreShutdown struct{}
 
 // Do issues one operation and blocks the program until it completes,
 // returning the operation's result (loaded value, atomic's old value).
-// It must be called only from the core's program goroutine.
+// It must be called only from the core's program goroutine. If the
+// cluster has been shut down (the machine aborted the run), Do unwinds
+// the program goroutine instead of blocking forever.
 func (c *Core) Do(o Op) uint32 {
-	c.reqCh <- o
-	return <-c.respCh
+	c.issue(o)
+	select {
+	case v := <-c.respCh:
+		return v
+	case <-c.cluster.quit:
+		panic(coreShutdown{})
+	}
+}
+
+// issue hands one operation to the machine side, or unwinds the program
+// goroutine if the cluster has been shut down.
+func (c *Core) issue(o Op) {
+	select {
+	case c.reqCh <- o:
+	case <-c.cluster.quit:
+		panic(coreShutdown{})
+	}
 }
 
 // TakeRaceTrap reports and clears the core's pending race exception (set
@@ -149,6 +180,12 @@ type Cluster struct {
 	seq    uint64 // transaction-ID sequence (per cluster)
 
 	onCoreDone func() // machine hook: a core's program completed
+
+	// quit, once closed by Shutdown, releases program goroutines blocked
+	// in Do so an aborted run leaks nothing; wg joins them.
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	stopped bool
 }
 
 // l2txn is an in-flight L2 miss/upgrade for one line. Operations arriving
@@ -186,9 +223,10 @@ func New(id int, cfg config.Machine, q *event.Queue, run *stats.Run) *Cluster {
 		run:  run,
 		l2:   cache.New(cfg.L2Size, cfg.L2Assoc),
 		txns: make(map[addr.Line]*l2txn),
+		quit: make(chan struct{}),
 	}
 	for i := 0; i < cfg.CoresPerCluster; i++ {
-		cl.Cores = append(cl.Cores, &Core{
+		c := &Core{
 			ID:      id*cfg.CoresPerCluster + i,
 			cluster: cl,
 			l1i:     cache.New(cfg.L1ISize, cfg.L1IAssoc),
@@ -196,9 +234,31 @@ func New(id int, cfg config.Machine, q *event.Queue, run *stats.Run) *Cluster {
 			reqCh:   make(chan Op),
 			respCh:  make(chan uint32),
 			codeLen: addr.WordBytes,
-		})
+		}
+		c.fetchFn = func() { cl.fetchNext(c) }
+		c.stepFn = func() { cl.step(c) }
+		c.completeZeroFn = func() { cl.complete(c, 0) }
+		c.completeValFn = func(v uint32) { cl.complete(c, v) }
+		cl.Cores = append(cl.Cores, c)
 	}
 	return cl
+}
+
+// Shutdown releases any program goroutines still blocked in Do after an
+// aborted run and waits for them to exit. It is idempotent and must only
+// be called once the event loop has stopped (the goroutines unwind
+// without touching machine state). Normally-completed programs have
+// already exited; Shutdown exists for the early-return paths — deadlock,
+// retry exhaustion, cycle limit, oracle violation — where cores are still
+// mid-operation, which would otherwise leak two goroutine stacks per core
+// across the thousands of simulations a parallel sweep runs per process.
+func (cl *Cluster) Shutdown() {
+	if cl.stopped {
+		return
+	}
+	cl.stopped = true
+	close(cl.quit)
+	cl.wg.Wait()
 }
 
 // Wire installs the machine glue.
@@ -242,11 +302,20 @@ func (cl *Cluster) StartCore(i int, program func(c *Core)) {
 		panic(simerr.Invariant(uint64(cl.q.Now()), cl.site(), 0, "core %d started twice", c.ID))
 	}
 	c.started = true
+	cl.wg.Add(1)
 	go func() {
+		defer cl.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(coreShutdown); !ok {
+					panic(r)
+				}
+			}
+		}()
 		program(c)
-		c.reqCh <- Op{Kind: OpDone}
+		c.issue(Op{Kind: OpDone})
 	}()
-	cl.q.After(1, func() { cl.fetchNext(c) })
+	cl.q.After(1, c.fetchFn)
 }
 
 // fetchNext blocks until the program yields its next operation, then
@@ -279,7 +348,7 @@ func (cl *Cluster) complete(c *Core, v uint32) {
 	cl.run.ForwardProgress++
 	c.respCh <- v
 	c.pending = <-c.reqCh
-	cl.q.After(1, func() { cl.step(c) })
+	cl.q.After(1, c.stepFn)
 }
 
 // ifetch models the instruction stream: each operation advances the PC by
@@ -325,17 +394,17 @@ func (cl *Cluster) execute(c *Core, o Op) {
 	switch o.Kind {
 	case OpWork:
 		cl.run.Instructions += uint64(o.Cycles)
-		cl.q.After(event.Cycle(o.Cycles), func() { cl.complete(c, 0) })
+		cl.q.After(event.Cycle(o.Cycles), c.completeZeroFn)
 	case OpLoad:
-		cl.load(c, o.Addr, func(v uint32) { cl.complete(c, v) })
+		cl.load(c, o.Addr, c.completeValFn)
 	case OpStore:
-		cl.store(c, o.Addr, o.Value, func() { cl.complete(c, 0) })
+		cl.store(c, o.Addr, o.Value, c.completeZeroFn)
 	case OpAtomic, OpUncLoad, OpUncStore:
-		cl.uncached(c, o, func(v uint32) { cl.complete(c, v) })
+		cl.uncached(c, o, c.completeValFn)
 	case OpFlush:
-		cl.flush(c, o.Addr, func() { cl.complete(c, 0) })
+		cl.flush(c, o.Addr, c.completeZeroFn)
 	case OpInv:
-		cl.inv(c, o.Addr, func() { cl.complete(c, 0) })
+		cl.inv(c, o.Addr, c.completeZeroFn)
 	default:
 		panic(simerr.Invariant(uint64(cl.q.Now()), cl.site(), uint64(addr.LineOf(o.Addr).Base()),
 			"unknown op kind %d from core %d", o.Kind, c.ID))

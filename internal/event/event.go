@@ -1,14 +1,21 @@
 // Package event provides the deterministic discrete-event simulation engine
 // that drives the Cohesion machine model.
 //
-// The engine is a binary-heap priority queue of (cycle, sequence, fn)
-// triples. Events scheduled for the same cycle fire in the order they were
-// scheduled, which makes every simulation run bit-for-bit reproducible: the
-// machine model is single-threaded and all nondeterminism is confined to
-// explicitly seeded PRNGs in workload generators.
+// The engine is a 4-ary min-heap of (cycle, sequence, fn) triples over a
+// reusable backing slice. Events scheduled for the same cycle fire in the
+// order they were scheduled, which makes every simulation run bit-for-bit
+// reproducible: the machine model is single-threaded and all nondeterminism
+// is confined to explicitly seeded PRNGs in workload generators.
+//
+// The heap is inlined rather than built on container/heap: the standard
+// interface forces every Push and Pop through an `any` boxing allocation,
+// which on the simulator's hot path (one event per modelled latency) made
+// the engine the dominant source of garbage. The generic heap below keeps
+// items in a flat slice that is reused across events, so scheduling and
+// firing allocate nothing in steady state. A 4-ary layout halves the tree
+// depth of a binary heap and keeps the children of a node in one or two
+// cache lines, which measures faster for the queue sizes simulations reach.
 package event
-
-import "container/heap"
 
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
@@ -23,33 +30,92 @@ type item struct {
 	fn  Func
 }
 
-type eventHeap []item
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// less orders items by cycle, ties broken by scheduling order. (at, seq)
+// pairs are unique, so the order is total and any correct heap pops the
+// exact same sequence — the determinism witness the tests pin down.
+func (it item) less(o item) bool {
+	return it.at < o.at || (it.at == o.at && it.seq < o.seq)
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// ordered is the constraint for heap4 elements: a strict weak ordering on
+// the concrete type. Instantiating the heap over a concrete type lets the
+// compiler devirtualize and inline every comparison.
+type ordered[T any] interface{ less(T) bool }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(item)) }
+// heap4 is an inlined 4-ary min-heap over a reusable backing slice. The
+// zero value is ready to use. It never shrinks its backing array, so in
+// steady state push and pop perform no allocation.
+type heap4[T ordered[T]] struct {
+	s []T
+}
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = item{}
-	*h = old[:n-1]
-	return it
+func (h *heap4[T]) len() int { return len(h.s) }
+
+// push inserts v, sifting it up toward the root.
+func (h *heap4[T]) push(v T) {
+	h.s = append(h.s, v)
+	s := h.s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !v.less(s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = v
+}
+
+// pop removes and returns the minimum. The caller must ensure the heap is
+// non-empty. The vacated tail slot is zeroed so popped events release
+// their closures to the collector.
+func (h *heap4[T]) pop() T {
+	s := h.s
+	min := s[0]
+	n := len(s) - 1
+	v := s[n]
+	var zero T
+	s[n] = zero
+	h.s = s[:n]
+	if n > 0 {
+		h.siftDown(v)
+	}
+	return min
+}
+
+// siftDown places v, conceptually at the root, into its final position.
+func (h *heap4[T]) siftDown(v T) {
+	s := h.s
+	n := len(s)
+	i := 0
+	for {
+		c := i<<2 + 1 // first child
+		if c >= n {
+			break
+		}
+		m := c // index of the smallest child
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s[j].less(s[m]) {
+				m = j
+			}
+		}
+		if !s[m].less(v) {
+			break
+		}
+		s[i] = s[m]
+		i = m
+	}
+	s[i] = v
 }
 
 // Queue is a discrete-event scheduler. The zero value is ready to use.
 type Queue struct {
-	h    eventHeap
+	h    heap4[item]
 	now  Cycle
 	seq  uint64
 	fire uint64
@@ -63,7 +129,7 @@ func (q *Queue) Now() Cycle { return q.now }
 func (q *Queue) Fired() uint64 { return q.fire }
 
 // Pending reports how many events are scheduled but not yet executed.
-func (q *Queue) Pending() int { return len(q.h) }
+func (q *Queue) Pending() int { return q.h.len() }
 
 // At schedules fn to run at absolute cycle at. Scheduling in the past
 // (at < Now) panics: it indicates a broken latency computation in the
@@ -74,7 +140,7 @@ func (q *Queue) At(at Cycle, fn Func) {
 		panic("event: scheduled in the past")
 	}
 	q.seq++
-	heap.Push(&q.h, item{at: at, seq: q.seq, fn: fn})
+	q.h.push(item{at: at, seq: q.seq, fn: fn})
 }
 
 // After schedules fn to run delay cycles from now.
@@ -85,10 +151,10 @@ func (q *Queue) After(delay Cycle, fn Func) {
 // Step executes the single earliest pending event and reports whether one
 // existed.
 func (q *Queue) Step() bool {
-	if len(q.h) == 0 {
+	if q.h.len() == 0 {
 		return false
 	}
-	it := heap.Pop(&q.h).(item)
+	it := q.h.pop()
 	q.now = it.at
 	q.fire++
 	it.fn()
@@ -97,15 +163,21 @@ func (q *Queue) Step() bool {
 
 // Run executes events until the queue drains or the limit on executed
 // events is reached. A limit of 0 means no limit. It returns the number of
-// events executed by this call and whether the queue drained.
+// events executed by this call and whether the queue drained. The drain
+// loop pops inline rather than calling Step per event, so the engine's
+// hot loop is a single function with no per-event call overhead.
 func (q *Queue) Run(limit uint64) (executed uint64, drained bool) {
 	for {
 		if limit != 0 && executed >= limit {
 			return executed, false
 		}
-		if !q.Step() {
+		if q.h.len() == 0 {
 			return executed, true
 		}
+		it := q.h.pop()
+		q.now = it.at
+		q.fire++
+		it.fn()
 		executed++
 	}
 }
@@ -113,8 +185,11 @@ func (q *Queue) Run(limit uint64) (executed uint64, drained bool) {
 // RunUntil executes events with Now <= deadline. Events scheduled beyond
 // the deadline remain pending. It reports whether the queue drained.
 func (q *Queue) RunUntil(deadline Cycle) (drained bool) {
-	for len(q.h) > 0 && q.h[0].at <= deadline {
-		q.Step()
+	for q.h.len() > 0 && q.h.s[0].at <= deadline {
+		it := q.h.pop()
+		q.now = it.at
+		q.fire++
+		it.fn()
 	}
-	return len(q.h) == 0
+	return q.h.len() == 0
 }

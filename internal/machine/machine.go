@@ -221,6 +221,15 @@ const defaultWatchdogCycles = 4_000_000
 // ErrProtocolInvariant (protocol code panicked with a diagnostic, which is
 // recovered here and returned as an error).
 func (m *Machine) Simulate(maxCycles uint64) (err error) {
+	// Registered first so it runs after the recover defer below has
+	// settled err: an abnormal end leaves program goroutines blocked in
+	// Do, and Shutdown releases and joins them before Simulate returns.
+	defer func() {
+		m.Run.Events = m.Q.Fired()
+		if err != nil {
+			m.Shutdown()
+		}
+	}()
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -265,6 +274,16 @@ func (m *Machine) Simulate(maxCycles uint64) (err error) {
 	m.Run.NetMessages = m.Net.MessagesUp + m.Net.MessagesDown
 	m.Run.NetBytes = m.Net.BytesUp + m.Net.BytesDown
 	return nil
+}
+
+// Shutdown releases program goroutines left blocked mid-operation by an
+// aborted run and joins them. Simulate calls it on every abnormal-end
+// path; it is idempotent and safe to call again from library users that
+// abandon a machine without simulating it to quiescence.
+func (m *Machine) Shutdown() {
+	for _, cl := range m.Clusters {
+		cl.Shutdown()
+	}
 }
 
 // outstandingWork reports whether any program or protocol transaction is

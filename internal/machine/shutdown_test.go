@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/cluster"
+	"cohesion/internal/simerr"
+)
+
+// goroutinesSettleTo waits for the process goroutine count to drop back to
+// at most base, tolerating the scheduler's exit lag.
+func goroutinesSettleTo(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d > baseline %d", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestNoGoroutineLeakOnCycleLimit forces an aborted run (programs that
+// never finish hit the cycle limit) and asserts every program goroutine is
+// released and joined: before the shutdown path existed, each aborted run
+// leaked one blocked goroutine per started core — fatal for a parallel
+// harness running thousands of simulations in one process.
+func TestNoGoroutineLeakOnCycleLimit(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for iter := 0; iter < 3; iter++ {
+		m := newMachine(t, hwccCfg(2))
+		for core := 0; core < 8; core++ {
+			a := addr.HeapBase + addr.Addr(core*addr.LineBytes)
+			m.StartProgram(core, func(c *cluster.Core) {
+				for { // never completes: the cycle limit must abort the run
+					ld(c, a)
+					st(c, a, 1)
+				}
+			})
+		}
+		err := m.Simulate(20_000)
+		if !errors.Is(err, ErrCycleLimit) {
+			t.Fatalf("Simulate = %v, want ErrCycleLimit", err)
+		}
+	}
+	goroutinesSettleTo(t, base)
+}
+
+// TestNoGoroutineLeakOnDeadlock aborts a run whose only core is a
+// spin-waiting poller — it completes operations forever (so the watchdog
+// sees progress) but never finishes. Whether such a run ends as a
+// watchdog deadlock or at the cycle limit, the core is blocked
+// mid-operation at abort time and its goroutines must be released.
+func TestNoGoroutineLeakOnDeadlock(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cfg := hwccCfg(1)
+	cfg.WatchdogCycles = 5_000
+	m := newMachine(t, cfg)
+	// Core 0 waits forever on a sync word nobody writes; the spin keeps
+	// completing operations, so the watchdog's stuck-transaction check
+	// stays quiet — the cycle limit is the backstop that aborts the run
+	// with the core still blocked mid-operation.
+	m.StartProgram(0, func(c *cluster.Core) {
+		spinUntil(c, syncWord, 0xdead)
+	})
+	err := m.Simulate(200_000)
+	if err == nil {
+		t.Fatal("Simulate succeeded, want an aborted run")
+	}
+	if !errors.Is(err, ErrCycleLimit) && !errors.Is(err, simerr.ErrDeadlock) {
+		t.Fatalf("Simulate = %v, want cycle-limit or deadlock", err)
+	}
+	goroutinesSettleTo(t, base)
+}
+
+// TestShutdownIdempotent double-shutdown must be safe, including on a
+// machine whose programs all completed normally.
+func TestShutdownIdempotent(t *testing.T) {
+	m := newMachine(t, hwccCfg(1))
+	program(m, 0, func(c *cluster.Core) { st(c, addr.HeapBase, 7) })
+	simulate(t, m)
+	m.Shutdown()
+	m.Shutdown()
+}

@@ -1,0 +1,112 @@
+// Package pool fans independent jobs out across host cores with
+// deterministic result ordering. It is the substrate under the experiment
+// harness: every figure of the paper's evaluation is a sweep of
+// independent simulations, and each simulation is single-threaded and
+// self-contained (its own event queue, memory image, and seeded PRNGs),
+// so they parallelize perfectly — the only requirement is that results
+// come back slotted by job index, never by completion order, so the
+// assembled tables are bit-identical at any worker count.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism: n >= 1 is taken as-is, and
+// n <= 0 selects GOMAXPROCS (the -parallel flag's default).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs job(i) for every i in [0, n) across at most workers goroutines
+// (resolved via Workers). Jobs are claimed from an atomic counter, so the
+// assignment of jobs to goroutines is racy — callers must make job(i)
+// write only state owned by index i. Do returns when every job has
+// finished. With workers <= 1 resolved to 1, jobs run inline on the
+// calling goroutine in index order, byte-for-byte the serial harness.
+//
+// A panic inside a job is captured and re-raised on the calling goroutine
+// once all workers have stopped (the lowest-index panic wins, so the
+// failure surfaced is deterministic). This keeps simerr-style diagnostic
+// panics flowing to the caller exactly as they do in a serial run.
+func Do(n, workers int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicked = -1
+		panicVal any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if panicked == -1 || i < panicked {
+								panicked, panicVal = i, r
+							}
+							mu.Unlock()
+						}
+					}()
+					job(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != -1 {
+		panic(panicVal)
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) across at most workers goroutines
+// and returns the results slotted by index.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	Do(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr runs fn(i) for every i in [0, n) across at most workers
+// goroutines. All jobs run to completion even when some fail; if any
+// failed, the error of the lowest-index failure is returned (so the
+// reported error does not depend on completion order) along with a nil
+// slice. Otherwise the results are returned slotted by index.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	Do(n, workers, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapSlotsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := Map(100, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestSerialAndParallelIdentical(t *testing.T) {
+	job := func(i int) string { return fmt.Sprintf("job-%03d", i*7%13) }
+	serial := Map(200, 1, job)
+	parallel := Map(200, 8, job)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("results diverge at %d: %q vs %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestEveryJobRunsExactlyOnce(t *testing.T) {
+	const n = 1000
+	var counts [n]atomic.Int32
+	Do(n, 8, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapErrReportsLowestIndexFailure(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 8} {
+		_, err := MapErr(100, workers, func(i int) (int, error) {
+			switch i {
+			case 97:
+				return 0, errHigh
+			case 13:
+				return 0, errLow
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestPanicPropagatesLowestIndex(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r != "boom-3" {
+			t.Fatalf("recovered %v, want boom-3", r)
+		}
+	}()
+	Do(10, 4, func(i int) {
+		if i == 3 || i == 8 {
+			panic(fmt.Sprintf("boom-%d", i))
+		}
+	})
+	t.Fatal("Do did not re-panic")
+}
+
+func TestZeroJobs(t *testing.T) {
+	ran := false
+	Do(0, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("job ran for n=0")
+	}
+	if out := Map(0, 4, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("Map(0) returned %d results", len(out))
+	}
+}

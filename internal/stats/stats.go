@@ -63,6 +63,12 @@ type Run struct {
 	Instructions uint64 // memory + coherence instructions executed
 	Cycles       uint64 // simulated run time
 
+	// Events counts discrete events executed by the simulation's event
+	// queue (filled in by the machine at the end of a run). Events per
+	// wall-clock second is the simulator's throughput metric, tracked by
+	// cmd/cohesion-bench.
+	Events uint64
+
 	// Network load (filled in by the machine at the end of a run).
 	NetMessages uint64
 	NetBytes    uint64

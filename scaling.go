@@ -3,6 +3,8 @@ package cohesion
 import (
 	"fmt"
 	"strings"
+
+	"cohesion/internal/pool"
 )
 
 // ScalingPoint is one measurement of the scaling study: a kernel run at a
@@ -28,11 +30,20 @@ type ScalingPoint struct {
 // and a hybrid model recovers software coherence's scalability for the
 // data that permits it. The kernel's data set scales with the machine so
 // per-core work stays roughly constant (weak scaling).
-func ScalingStudy(kernel string, clusterCounts []int, seed int64, verify bool) ([]ScalingPoint, error) {
+//
+// The points run concurrently on parallel worker goroutines (0 = one per
+// CPU, 1 = serial); results are slotted by point index, so the returned
+// rows are identical at any worker count.
+func ScalingStudy(kernel string, clusterCounts []int, seed int64, verify bool, parallel int) ([]ScalingPoint, error) {
 	if len(clusterCounts) == 0 {
 		clusterCounts = []int{2, 4, 8, 16}
 	}
-	var out []ScalingPoint
+	type job struct {
+		name     string
+		clusters int
+		cfg      MachineConfig
+	}
+	var jobs []job
 	for _, clusters := range clusterCounts {
 		base := ExpParams{Clusters: clusters}.expMachine()
 		for _, pt := range []struct {
@@ -43,31 +54,34 @@ func ScalingStudy(kernel string, clusterCounts []int, seed int64, verify bool) (
 			{"HWcc", base.WithMode(HWcc).WithDirectory(DirInfinite, 0, 0)},
 			{"Cohesion", base.WithMode(Cohesion)},
 		} {
-			res, err := Run(RunConfig{
-				Machine: pt.cfg,
-				Kernel:  kernel,
-				Scale:   clusters, // weak scaling: data grows with machine
-				Seed:    seed,
-				Workers: 2 * clusters,
-				Verify:  verify,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("scaling %s/%s@%d: %w", kernel, pt.name, clusters, err)
-			}
-			cores := pt.cfg.Cores()
-			out = append(out, ScalingPoint{
-				Kernel:          kernel,
-				Config:          pt.name,
-				Clusters:        clusters,
-				Cores:           cores,
-				Cycles:          res.Cycles(),
-				Messages:        res.TotalMessages(),
-				MessagesPerCore: float64(res.TotalMessages()) / float64(cores),
-				ProbesSent:      res.Stats.ProbesSent,
-			})
+			jobs = append(jobs, job{name: pt.name, clusters: clusters, cfg: pt.cfg})
 		}
 	}
-	return out, nil
+	return pool.MapErr(len(jobs), parallel, func(i int) (ScalingPoint, error) {
+		j := jobs[i]
+		res, err := Run(RunConfig{
+			Machine: j.cfg,
+			Kernel:  kernel,
+			Scale:   j.clusters, // weak scaling: data grows with machine
+			Seed:    seed,
+			Workers: 2 * j.clusters,
+			Verify:  verify,
+		})
+		if err != nil {
+			return ScalingPoint{}, fmt.Errorf("scaling %s/%s@%d: %w", kernel, j.name, j.clusters, err)
+		}
+		cores := j.cfg.Cores()
+		return ScalingPoint{
+			Kernel:          kernel,
+			Config:          j.name,
+			Clusters:        j.clusters,
+			Cores:           cores,
+			Cycles:          res.Cycles(),
+			Messages:        res.TotalMessages(),
+			MessagesPerCore: float64(res.TotalMessages()) / float64(cores),
+			ProbesSent:      res.Stats.ProbesSent,
+		}, nil
+	})
 }
 
 // ScalingCSV renders scaling-study points.
