@@ -30,6 +30,7 @@ import (
 
 	"cohesion"
 	"cohesion/internal/event"
+	"cohesion/internal/stats"
 )
 
 // Report is the schema of BENCH_results.json.
@@ -43,6 +44,18 @@ type Report struct {
 	EventEngine EventEngineBench `json:"event_engine"`
 	Simulations []SimBench       `json:"simulations"`
 	Fanout      FanoutBench      `json:"fanout"`
+
+	// MetricsSample is one instrumented run's sim-time histogram digest
+	// (message latency by class, port waits, queue depths, occupancy),
+	// recorded so metric regressions show up in commit-to-commit diffs.
+	MetricsSample *MetricsSampleBench `json:"metrics_sample,omitempty"`
+}
+
+// MetricsSampleBench is the instrumented-run section of the report.
+type MetricsSampleBench struct {
+	Kernel  string              `json:"kernel"`
+	Mode    string              `json:"mode"`
+	Metrics stats.MetricsExport `json:"metrics"`
 }
 
 // EventEngineBench is the schedule+fire micro-benchmark (per event).
@@ -116,6 +129,15 @@ func main() {
 				kernel, mode, sb.EventsPerSec, sb.Events, sb.WallSeconds, sb.AllocsPerEvent)
 		}
 	}
+
+	fmt.Println("== metrics sample: one instrumented run ==")
+	ms, err := benchMetricsSample(kernelList[0], *seed, scale)
+	if err != nil {
+		fatal("metrics sample: %v", err)
+	}
+	rep.MetricsSample = ms
+	fmt.Printf("  %s/%s: %d message classes with latency histograms\n",
+		ms.Kernel, ms.Mode, len(ms.Metrics.MsgLatency))
 
 	fmt.Println("== experiment fan-out: Figure 9a sweep, serial vs parallel ==")
 	fb, err := benchFanout(*short, *parallel, *seed)
@@ -198,6 +220,28 @@ func benchSim(kernel string, mode cohesion.Mode, scale int, seed int64) (SimBenc
 		EventsPerSec:   float64(events) / wall.Seconds(),
 		AllocsPerEvent: allocs / float64(events),
 		Fingerprint:    res.MemFingerprint,
+	}, nil
+}
+
+// benchMetricsSample runs one kernel with the metrics registry attached and
+// returns its exported digest.
+func benchMetricsSample(kernel string, seed int64, scale int) (*MetricsSampleBench, error) {
+	cfg := cohesion.ScaledConfig(4).WithMode(cohesion.Cohesion)
+	res, err := cohesion.Run(cohesion.RunConfig{
+		Machine: cfg,
+		Kernel:  kernel,
+		Scale:   scale,
+		Seed:    seed,
+		Verify:  true,
+		Metrics: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MetricsSampleBench{
+		Kernel:  kernel,
+		Mode:    res.Mode.String(),
+		Metrics: res.Stats.Metrics.Export(),
 	}, nil
 }
 

@@ -30,7 +30,7 @@ var (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "which figure: 2, 3, 8, 9a, 9b, 9c, 10, area, table3, summary, scaling, all")
+		fig        = flag.String("fig", "all", "which figure: 2, 3, 8, 9a, 9b, 9c, 10, latency, area, table3, summary, scaling, all")
 		clusters   = flag.Int("clusters", 0, "clusters (0 = harness default)")
 		workers    = flag.Int("workers", 0, "worker cores (0 = harness default)")
 		scale      = flag.Int("scale", 0, "kernel scale (0 = harness default)")
@@ -79,6 +79,7 @@ func main() {
 		"9b":      func(p cohesion.ExpParams) { showFig9(p, "9b", cohesion.Cohesion) },
 		"9c":      showFig9c,
 		"10":      showFig10,
+		"latency": showLatency,
 		"area":    showArea,
 		"summary": showSummary,
 		"scaling": showScaling,
@@ -186,6 +187,22 @@ func showFig10(p cohesion.ExpParams) {
 	t := &stats.Table{Header: []string{"kernel", "config", "cycles", "normalized"}}
 	for _, r := range rows {
 		t.Add(r.Kernel, r.Config, fmt.Sprint(r.Cycles), fmt.Sprintf("%.2f", r.Normalized))
+	}
+	fmt.Println(t)
+}
+
+func showLatency(p cohesion.ExpParams) {
+	rows, err := cohesion.LatencyTable(p)
+	check(err)
+	if *csvOut {
+		fmt.Print(cohesion.LatencyCSV(rows))
+		return
+	}
+	fmt.Println("== Message latency: issue-to-settle sim time by class (cycles) ==")
+	t := &stats.Table{Header: []string{"kernel", "config", "class", "count", "mean", "p50", "p90", "p99", "max"}}
+	for _, r := range rows {
+		t.Add(r.Kernel, r.Config, r.Class, fmt.Sprint(r.Count), fmt.Sprintf("%.1f", r.Mean),
+			fmt.Sprint(r.P50), fmt.Sprint(r.P90), fmt.Sprint(r.P99), fmt.Sprint(r.Max))
 	}
 	fmt.Println(t)
 }

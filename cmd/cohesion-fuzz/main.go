@@ -19,9 +19,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"cohesion/internal/pool"
 	"cohesion/internal/stress"
+	"cohesion/internal/trace"
 )
 
 func main() {
@@ -36,7 +38,10 @@ func main() {
 		faults    = flag.Bool("faults", false, "compose runs with deterministic fault injection")
 		faultSeed = flag.Int64("fault-seed", 1, "base fault plan seed")
 		corrupt   = flag.Bool("corrupt", false, "plant a memory-corruption motif the oracle must catch")
-		traceN    = flag.Int("trace", 0, "protocol trace ring capacity captured into repros (0 = default)")
+		traceN    = flag.Int("trace-ring", 0, "protocol trace ring capacity captured into repros (0 = default)")
+		traceOn   = flag.Bool("trace", false, "on failure, re-run the failing program with a structured trace and write it to -trace-out")
+		traceOut  = flag.String("trace-out", "cohesion-fuzz-trace.json", "failure trace output file; .json emits Chrome trace-event format, anything else plain text")
+		edges     = flag.Bool("edges", false, "aggregate protocol-transition edge coverage across all iterations and print the report")
 		out       = flag.String("out", "cohesion-fuzz-repro.json", "repro file written on failure")
 		replay    = flag.String("replay", "", "replay a saved repro file instead of fuzzing")
 		shrink    = flag.Bool("shrink", true, "shrink a failing program before writing the repro")
@@ -88,6 +93,11 @@ func main() {
 		modes = []string{*mode}
 	}
 
+	var cov *trace.Coverage
+	if *edges {
+		cov = trace.NewCoverage() // marks are atomic: shared across workers
+	}
+
 	// Iterations are fully independent (each derives its own seeds), so they
 	// fan out across worker goroutines in index-ordered chunks. Failure
 	// handling stays deterministic: within a chunk every iteration runs to
@@ -124,7 +134,7 @@ func main() {
 			if err != nil {
 				fatal("%v", err)
 			}
-			return iterResult{cfg: cfg, prog: p, res: stress.RunProgram(p)}
+			return iterResult{cfg: cfg, prog: p, res: stress.RunProgramOpts(p, stress.RunOpts{Coverage: cov})}
 		})
 		for j, r := range results {
 			if r.res.Err == nil {
@@ -147,6 +157,9 @@ func main() {
 				fatal("writing repro: %v", err)
 			}
 			fmt.Printf("repro written to %s (category %s)\n", *out, category)
+			if *traceOn {
+				writeFailureTrace(p, *traceOut)
+			}
 			writeMemProfile()
 			if *cpuprofile != "" {
 				pprof.StopCPUProfile()
@@ -156,6 +169,30 @@ func main() {
 	}
 	fmt.Printf("%d programs clean: %d oracle checks over %d simulated cycles\n",
 		*iters, totalChecks, totalCycles)
+	if cov != nil {
+		fmt.Printf("protocol edge coverage: %d/%d\n%s", cov.Covered(), cov.Total(), cov.Report())
+	}
+}
+
+// writeFailureTrace re-executes a failing program with a structured trace
+// sink attached (the original parallel run traced nothing) and exports it.
+func writeFailureTrace(p stress.Program, path string) {
+	sink := trace.NewSink(0)
+	stress.RunProgramOpts(p, stress.RunOpts{Sink: sink})
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("writing trace: %v", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = sink.WriteChromeJSON(f)
+	} else {
+		err = sink.WriteText(f)
+	}
+	if err != nil {
+		fatal("writing trace: %v", err)
+	}
+	fmt.Printf("failure trace (%d events) written to %s\n", len(sink.Records()), path)
 }
 
 // replayFile re-runs a saved repro, optionally shrinking it further, and

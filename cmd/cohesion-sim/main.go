@@ -35,7 +35,11 @@ func main() {
 		assoc    = flag.Int("assoc", 0, "directory associativity (0 = fully associative)")
 		verify   = flag.Bool("verify", true, "verify kernel output against the golden reference")
 		table3   = flag.Bool("table3", false, "use the paper's full 1024-core Table 3 machine")
-		traceN   = flag.Int("trace", 0, "print the last N protocol events after the run")
+		traceOn  = flag.Bool("trace", false, "record a structured protocol trace and write it to -trace-out")
+		traceOut = flag.String("trace-out", "cohesion-trace.json", "trace output file; .json emits Chrome trace-event format, anything else plain text")
+		traceN   = flag.Int("trace-ring", 0, "retain and print the last N protocol events after the run")
+		metrics  = flag.Bool("metrics", false, "collect and print sim-time histograms (latency, port waits, occupancy)")
+		edges    = flag.Bool("edges", false, "track protocol-transition edge coverage and print the report")
 		phases   = flag.Bool("phases", false, "print per-phase (barrier-to-barrier) cycle and message breakdown")
 		timeline = flag.Bool("timeline", false, "print the traffic timeline as CSV")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
@@ -112,6 +116,14 @@ func main() {
 	cfg.WatchdogCycles = *watchdog
 	cfg.OracleEnabled = *oracleOn
 
+	var sink *cohesion.TraceSink
+	if *traceOn {
+		sink = cohesion.NewTraceSink(0)
+	}
+	var cov *cohesion.Coverage
+	if *edges {
+		cov = cohesion.NewCoverage()
+	}
 	res, err := cohesion.Run(cohesion.RunConfig{
 		Machine:       cfg,
 		Kernel:        *kernel,
@@ -120,9 +132,19 @@ func main() {
 		Workers:       *workers,
 		Verify:        *verify,
 		TraceCapacity: *traceN,
+		TraceSink:     sink,
+		Coverage:      cov,
+		Metrics:       *metrics,
 	})
 	if err != nil {
 		fatal("%v", err)
+	}
+	if sink != nil {
+		if err := writeTrace(sink, *traceOut); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "cohesion-sim: wrote %d trace events to %s (%d dropped)\n",
+			len(sink.Records()), *traceOut, sink.Dropped())
 	}
 	if *jsonOut {
 		emitJSON(res)
@@ -151,6 +173,27 @@ func main() {
 			fmt.Printf("%d,%d,%d,%d\n", s.Cycle, s.Messages, s.Probes, s.DirEntries)
 		}
 	}
+	if res.Stats.Metrics != nil {
+		fmt.Printf("\n== metrics ==\n%s", res.Stats.Metrics.Summary().String())
+	}
+	if cov != nil {
+		fmt.Printf("\n== protocol edge coverage: %d/%d ==\n%s", cov.Covered(), cov.Total(), cov.Report())
+	}
+}
+
+// writeTrace exports the sink: Chrome trace-event JSON for .json paths
+// (load via chrome://tracing or https://ui.perfetto.dev), plain text
+// otherwise.
+func writeTrace(sink *cohesion.TraceSink, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return sink.WriteChromeJSON(f)
+	}
+	return sink.WriteText(f)
 }
 
 // emitJSON prints the run's key measurements as a JSON object.
@@ -187,6 +230,9 @@ func emitJSON(res *cohesion.Result) {
 		"l2_retries":        res.Stats.L2Retries,
 		"nack_retries":      res.Stats.NackRetries,
 		"mem_fingerprint":   res.MemFingerprint,
+	}
+	if res.Stats.Metrics != nil {
+		out["metrics"] = res.Stats.Metrics.Export()
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -28,6 +28,7 @@ import (
 	"cohesion/internal/rt"
 	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
+	"cohesion/internal/trace"
 )
 
 // Mode selects the memory model (the paper's design points).
@@ -123,7 +124,40 @@ type RunConfig struct {
 	// TraceCapacity, when positive, retains the last N protocol events in
 	// Result.Stats.Trace for post-mortem inspection.
 	TraceCapacity int
+
+	// TraceSink, when non-nil, receives every protocol event as a
+	// structured record for Chrome-trace/text export (see NewTraceSink).
+	TraceSink *TraceSink
+
+	// Coverage, when non-nil, records which protocol-transition edges the
+	// run exercised. A single tracker may be shared across many runs (marks
+	// are atomic) to aggregate coverage over a batch.
+	Coverage *Coverage
+
+	// Metrics, when true, collects sim-time histograms (message latency by
+	// class, port waits, queue depths, directory occupancy) in
+	// Result.Stats.Metrics.
+	Metrics bool
 }
+
+// Coverage tracks which protocol-transition edges simulations exercised;
+// see internal/trace for the edge catalog (documented in PROTOCOL.md §7).
+type Coverage = trace.Coverage
+
+// NewCoverage returns an empty protocol-transition coverage tracker.
+func NewCoverage() *Coverage { return trace.NewCoverage() }
+
+// TraceSink is a bounded ring of structured protocol events with
+// Chrome-trace-event and text exporters.
+type TraceSink = trace.Sink
+
+// NewTraceSink returns a sink retaining up to capacity events (<= 0 uses
+// trace.DefaultSinkCapacity).
+func NewTraceSink(capacity int) *TraceSink { return trace.NewSink(capacity) }
+
+// ProtocolEdgeNames lists the registered protocol-transition edge names in
+// registry order.
+func ProtocolEdgeNames() []string { return trace.EdgeNames() }
 
 // Result is one simulation's measurements.
 type Result struct {
@@ -159,6 +193,11 @@ func Run(rc RunConfig) (*Result, error) {
 	}
 	if rc.TraceCapacity > 0 {
 		m.EnableTrace(rc.TraceCapacity)
+	}
+	m.Run.Sink = rc.TraceSink
+	m.Run.Coverage = rc.Coverage
+	if rc.Metrics {
+		m.Run.Metrics = stats.NewMetrics()
 	}
 	workers := rc.Workers
 	if workers == 0 {

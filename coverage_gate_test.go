@@ -1,0 +1,90 @@
+package cohesion
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cohesion/internal/stress"
+)
+
+// TestProtocolEdgeCoverageGate is the coverage gate: the kernel suite run
+// under all three memory models, plus a fixed-seed stress batch aimed at
+// the pressure-only paths (tiny directories, pointer overflow, MSHR
+// starvation, fault recovery), must together exercise every registered
+// protocol-transition edge. A gap means either dead protocol code or a
+// test hole; the failure message lists exactly which edges never fired.
+func TestProtocolEdgeCoverageGate(t *testing.T) {
+	cov := NewCoverage()
+
+	t.Run("kernels", func(t *testing.T) {
+		for _, kernel := range KernelNames() {
+			for _, mode := range []Mode{SWcc, HWcc, Cohesion} {
+				kernel, mode := kernel, mode
+				t.Run(fmt.Sprintf("%s/%v", kernel, mode), func(t *testing.T) {
+					t.Parallel()
+					_, err := Run(RunConfig{
+						Machine:  ScaledConfig(2).WithMode(mode),
+						Kernel:   kernel,
+						Scale:    1,
+						Seed:     42,
+						Verify:   true,
+						Coverage: cov,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	})
+
+	// The stress batch reaches edges the well-behaved kernels cannot:
+	// capacity-starved directories, Dir4B pointer overflow, MSHR stalls,
+	// and the fault-recovery paths.
+	batch := []stress.Config{
+		{Seed: 101, Mode: "cohesion"},
+		{Seed: 102, Mode: "hwcc"},
+		// 64 SWcc lines against a 32-line L2: incoherent evictions, both
+		// dirty writebacks and silent clean drops.
+		{Seed: 103, Mode: "swcc", Lines: 64, OpsPerCore: 200},
+		// A long fault-injected run: enough allocations for the ~0.5%
+		// injected-NACK rate to fire, plus drop/dup recovery paths.
+		{Seed: 104, Mode: "cohesion", Faults: true, FaultSeed: 9, OpsPerCore: 400},
+		// Dir4B with >4 sharing clusters: pointer overflow, then broadcast
+		// probe fan-out (which also invalidates never-sharing clusters).
+		{Seed: 105, Mode: "hwcc", Clusters: 6, WorkersPerCluster: 2, Lines: 4, OpsPerCore: 300, Dir: "dir4b"},
+		// A 4-entry directory under 8 hot lines: constant capacity evictions
+		// and, with every way pinned, allocation retries.
+		{Seed: 106, Mode: "hwcc", Lines: 8, Dir: "sparse", DirEntries: 4, DirAssoc: 2},
+		// Same starvation with NACK-on-capacity: the requester is bounced.
+		{Seed: 107, Mode: "hwcc", Lines: 8, Dir: "sparse", DirEntries: 4, DirAssoc: 2, NackOnCapacity: true},
+		// Two MSHRs under four workers per cluster: misses must stall.
+		{Seed: 108, Mode: "cohesion", MSHRs: 2},
+		// Two heavily contended lines with frequent domain flips: a request
+		// races ahead of the SW=>HW transition, which must tear its freshly
+		// allocated entry down first.
+		{Seed: 112, Mode: "cohesion", Clusters: 4, Lines: 2, OpsPerCore: 300},
+	}
+	t.Run("stress", func(t *testing.T) {
+		for i, cfg := range batch {
+			i, cfg := i, cfg
+			t.Run(fmt.Sprintf("%d-%s", i, cfg.Mode), func(t *testing.T) {
+				t.Parallel()
+				p, err := stress.Generate(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := stress.RunProgramOpts(p, stress.RunOpts{Coverage: cov})
+				if res.Err != nil {
+					t.Fatalf("stress run failed: %v", res.Err)
+				}
+			})
+		}
+	})
+
+	if un := cov.Uncovered(); len(un) > 0 {
+		t.Fatalf("%d/%d protocol edges never fired:\n  %s",
+			len(un), cov.Total(), strings.Join(un, "\n  "))
+	}
+}

@@ -394,6 +394,78 @@ func Fig10(p ExpParams) ([]RuntimeRow, error) {
 	return out, nil
 }
 
+// MsgLatencyRow is one row of the message-latency table: the
+// issue-to-settle sim-time distribution of one L2-output message class for
+// one kernel under one configuration, from the metrics registry.
+type MsgLatencyRow struct {
+	Kernel, Config, Class string
+	Count                 uint64
+	Mean                  float64
+	P50, P90, P99, Max    uint64
+}
+
+// LatencyTable runs each kernel under SWcc, realistic HWcc, and Cohesion
+// with the metrics registry attached and reports per-class L2 transaction
+// latency (one row per non-empty message class).
+func LatencyTable(p ExpParams) ([]MsgLatencyRow, error) {
+	p = p.withDefaults()
+	configs := []struct {
+		name string
+		cfg  MachineConfig
+	}{
+		{"SWcc", p.swccCfg()},
+		{"HWccReal", p.hwccRealCfg()},
+		{"Cohesion", p.cohesionRealCfg()},
+	}
+	var jobs []runJob
+	for _, k := range p.Kernels {
+		for _, c := range configs {
+			jobs = append(jobs, runJob{kernel: k, name: c.name, cfg: c.cfg})
+		}
+	}
+	results, err := pool.MapErr(len(jobs), p.Parallel, func(i int) (*Result, error) {
+		res, err := Run(RunConfig{
+			Machine: jobs[i].cfg,
+			Kernel:  jobs[i].kernel,
+			Scale:   p.Scale,
+			Seed:    p.Seed,
+			Workers: p.Workers,
+			Verify:  p.Verify,
+			Metrics: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", jobs[i].kernel, jobs[i].name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []MsgLatencyRow
+	for ji, job := range jobs {
+		m := results[ji].Stats.Metrics
+		for _, k := range msg.Kinds() {
+			h := &m.MsgLatency[k]
+			if h.Count == 0 {
+				continue
+			}
+			s := h.Summarize()
+			out = append(out, MsgLatencyRow{
+				Kernel: job.kernel,
+				Config: job.name,
+				Class:  k.String(),
+				Count:  s.Count,
+				Mean:   s.Mean,
+				P50:    s.P50,
+				P90:    s.P90,
+				P99:    s.P99,
+				Max:    s.Max,
+			})
+		}
+	}
+	return out, nil
+}
+
 // AreaEstimates reproduces the §4.4 directory-area accounting for the
 // paper's Table 3 machine.
 func AreaEstimates() []directory.AreaEstimate {

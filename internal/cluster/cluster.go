@@ -25,10 +25,13 @@ import (
 	"cohesion/internal/oracle"
 	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
+	"cohesion/internal/trace"
 )
 
 // Debug mirrors L2 trace events to stdout in addition to the run's
-// bounded TraceLog; tests may flip it while diagnosing failures.
+// bounded TraceLog; tests may flip it while diagnosing failures. The
+// stdout mirror prints the shared trace.Record rendering, so every line
+// carries the sim-time column.
 var Debug = false
 
 // HomeSend routes a request to the home bank of its line and delivers the
@@ -165,10 +168,11 @@ func (c *Core) SetCode(base addr.Addr, bytes int) {
 
 // Cluster is eight cores, their L1s, and the shared L2.
 type Cluster struct {
-	ID  int
-	cfg config.Machine
-	q   *event.Queue
-	run *stats.Run
+	ID   int
+	name string // "cl<id>", precomputed for the trace hot path
+	cfg  config.Machine
+	q    *event.Queue
+	run  *stats.Run
 
 	l2     *cache.Cache
 	toHome HomeSend
@@ -218,6 +222,7 @@ const (
 func New(id int, cfg config.Machine, q *event.Queue, run *stats.Run) *Cluster {
 	cl := &Cluster{
 		ID:   id,
+		name: fmt.Sprintf("cl%d", id),
 		cfg:  cfg,
 		q:    q,
 		run:  run,
@@ -386,6 +391,9 @@ func (cl *Cluster) l2Stage(fn func()) {
 	if cl.l2busy > start {
 		start = cl.l2busy
 	}
+	if m := cl.run.Metrics; m != nil {
+		m.L2PortWait.Observe(uint64(start - cl.q.Now()))
+	}
 	cl.l2busy = start + 1
 	cl.q.At(start+event.Cycle(cl.cfg.L2Latency), fn)
 }
@@ -411,12 +419,34 @@ func (cl *Cluster) execute(c *Core, o Op) {
 	}
 }
 
-// trace records an L2-side protocol event.
+// trace records an L2-side protocol event in the run's TraceLog and
+// structured sink (and on stdout when Debug is set).
 func (cl *Cluster) trace(format string, args ...any) {
-	cl.run.TraceEvent(uint64(cl.q.Now()), fmt.Sprintf("cl%d", cl.ID), format, args...)
-	if Debug {
-		fmt.Printf("[cl%d] "+format+"\n", append([]any{cl.ID}, args...)...)
+	if !cl.run.Tracing() && !Debug {
+		return
 	}
+	rec := stats.TraceEntry{Cycle: uint64(cl.q.Now()), Site: cl.name, Event: fmt.Sprintf(format, args...)}
+	cl.run.Emit(rec)
+	if Debug {
+		fmt.Println(rec.String())
+	}
+}
+
+// traceTxn records one endpoint of a tracked transaction's lifecycle span
+// (phase 'b' at first transmission, 'e' at settle). The Chrome exporter
+// pairs the endpoints by transaction ID into an async span, so retry storms
+// and NACK convoys are visible as long bars in the trace viewer.
+func (cl *Cluster) traceTxn(phase byte, id uint64, format string, args ...any) {
+	if !cl.run.Tracing() {
+		return
+	}
+	cl.run.Emit(stats.TraceEntry{
+		Cycle: uint64(cl.q.Now()),
+		Site:  cl.name,
+		Event: fmt.Sprintf(format, args...),
+		ID:    id,
+		Phase: phase,
+	})
 }
 
 // send counts and transmits a request to the line's home bank.
@@ -484,6 +514,11 @@ func (cl *Cluster) l2Store(c *Core, a addr.Addr, v uint32, cont func()) {
 	e := cl.l2.Lookup(line)
 	if e != nil {
 		if e.Incoherent || e.State == cache.StateModified {
+			if e.Incoherent {
+				cl.run.Edge(trace.EdgeL2StoreHitIncoherent)
+			} else {
+				cl.run.Edge(trace.EdgeL2StoreHitModified)
+			}
 			if cl.orc != nil {
 				cl.orc.StoreObserved(cl.ID, a, v, e.Incoherent)
 			}
@@ -498,6 +533,7 @@ func (cl *Cluster) l2Store(c *Core, a addr.Addr, v uint32, cont func()) {
 		return
 	}
 	if cl.cfg.Mode == config.SWcc {
+		cl.run.Edge(trace.EdgeL2WriteAllocate)
 		ne, victim, evicted := cl.l2.Allocate(line)
 		if evicted {
 			cl.evictVictim(victim)
@@ -525,6 +561,7 @@ func (cl *Cluster) joinTxn(line addr.Line, write bool, retry func(), kind msg.Re
 	}
 	if len(cl.txns) >= cl.cfg.L2MSHRs {
 		// All miss-status registers busy: stall and retry when one drains.
+		cl.run.Edge(trace.EdgeL2MSHRStall)
 		cl.q.After(event.Cycle(cl.cfg.L2Latency), retry)
 		return
 	}
@@ -547,6 +584,9 @@ func (cl *Cluster) joinTxn(line addr.Line, write bool, retry func(), kind msg.Re
 // network.
 func (cl *Cluster) sendAttempt(line addr.Line, t *l2txn) {
 	t.gen++
+	if t.gen == 1 && t.id != 0 {
+		cl.traceTxn('b', t.id, "%v line=%#x", t.kind, uint64(line))
+	}
 	cl.send(msg.Req{Kind: t.kind, Line: line, ID: t.id}, func(resp msg.Resp) {
 		cl.handleResp(line, t, resp)
 	})
@@ -567,6 +607,13 @@ func (cl *Cluster) handleResp(line addr.Line, t *l2txn, resp msg.Resp) {
 		return
 	}
 	cl.trace("install line=%#x grant=%v", uint64(line), resp.Grant)
+	if t.id != 0 {
+		cl.traceTxn('e', t.id, "%v line=%#x grant=%v", t.kind, uint64(line), resp.Grant)
+	}
+	if m := cl.run.Metrics; m != nil {
+		m.MsgLatency[t.kind.Class()].Observe(uint64(cl.q.Now() - t.bornAt))
+		m.TxnRetries.Observe(uint64(t.timeouts + t.nacks))
+	}
 	cl.install(line, resp)
 	delete(cl.txns, line)
 	for _, r := range t.retries {
@@ -583,6 +630,7 @@ func (cl *Cluster) nackBackoff(line addr.Line, t *l2txn) {
 			"%v NACKed %d times since cycle %d", t.kind, t.nacks, t.bornAt))
 	}
 	cl.run.NackRetries++
+	cl.run.Edge(trace.EdgeRecNackBackoff)
 	shift := t.nacks - 1
 	if shift > 6 {
 		shift = 6
@@ -627,18 +675,20 @@ func (cl *Cluster) armTimeout(line addr.Line, t *l2txn, gen int) {
 				"%v outstanding since cycle %d after %d timeout retransmissions", t.kind, t.bornAt, t.timeouts-1))
 		}
 		cl.run.L2Retries++
+		cl.run.Edge(trace.EdgeRecTimeoutRetry)
 		cl.trace("timeout-retry line=%#x attempt=%d", uint64(line), t.timeouts)
 		cl.sendAttempt(line, t)
 	})
 }
 
 // site names this cluster in diagnostics.
-func (cl *Cluster) site() string { return fmt.Sprintf("cl%d", cl.ID) }
+func (cl *Cluster) site() string { return cl.name }
 
 // install applies a fill/upgrade response to the L2.
 func (cl *Cluster) install(line addr.Line, resp msg.Resp) {
 	e := cl.l2.Peek(line)
-	if e == nil {
+	fresh := e == nil
+	if fresh {
 		// Fresh fill (or the line was invalidated while upgrading and the
 		// home sent data).
 		if !resp.HasData {
@@ -658,6 +708,7 @@ func (cl *Cluster) install(line addr.Line, resp msg.Resp) {
 		if resp.HasData {
 			// Merge fetched words under locally dirty ones (SWcc partial
 			// lines keep their write-allocated words).
+			cl.run.Edge(trace.EdgeL2MergeFill)
 			for w := 0; w < addr.WordsPerLine; w++ {
 				if e.ValidMask&(1<<w) == 0 {
 					e.Data[w] = resp.Data[w]
@@ -668,12 +719,23 @@ func (cl *Cluster) install(line addr.Line, resp msg.Resp) {
 	}
 	switch resp.Grant {
 	case msg.GrantShared:
+		if fresh {
+			cl.run.Edge(trace.EdgeL2FillShared)
+		}
 		e.Incoherent = false
 		e.State = cache.StateShared
 	case msg.GrantModified:
+		if fresh {
+			cl.run.Edge(trace.EdgeL2FillModified)
+		} else if !resp.HasData {
+			cl.run.Edge(trace.EdgeL2UpgradeDataless)
+		}
 		e.Incoherent = false
 		e.State = cache.StateModified
 	case msg.GrantIncoherent:
+		if fresh {
+			cl.run.Edge(trace.EdgeL2FillIncoherent)
+		}
 		e.Incoherent = true
 		e.State = cache.StateInvalid
 	}
@@ -701,7 +763,11 @@ func (cl *Cluster) uncached(c *Core, o Op, cont func(uint32)) {
 		Operand:  o.Value,
 		Operand2: o.Op2,
 	}
+	born := cl.q.Now()
 	cl.send(req, func(resp msg.Resp) {
+		if m := cl.run.Metrics; m != nil {
+			m.MsgLatency[kind.Class()].Observe(uint64(cl.q.Now() - born))
+		}
 		if resp.RaceException {
 			c.raceTrapped = true
 		}
@@ -718,20 +784,29 @@ func (cl *Cluster) flush(c *Core, a addr.Addr, cont func()) {
 		cl.run.WBIssued++
 		e := cl.l2.Peek(line)
 		if e == nil {
+			cl.run.Edge(trace.EdgeL2FlushAbsent)
 			cont()
 			return
 		}
 		cl.run.WBUseful++
 		if e.DirtyMask == 0 {
+			cl.run.Edge(trace.EdgeL2FlushClean)
 			cont()
 			return
 		}
+		cl.run.Edge(trace.EdgeL2FlushDirty)
 		req := msg.Req{Kind: msg.ReqSWFlush, Line: line, Mask: e.DirtyMask, Data: e.Data}
 		e.DirtyMask = 0
 		if cl.orc != nil {
 			cl.orc.WritebackObserved(cl.ID, line, req.Mask, req.Data)
 		}
-		cl.send(req, func(msg.Resp) { cont() })
+		born := cl.q.Now()
+		cl.send(req, func(msg.Resp) {
+			if m := cl.run.Metrics; m != nil {
+				m.MsgLatency[msg.ReqSWFlush.Class()].Observe(uint64(cl.q.Now() - born))
+			}
+			cont()
+		})
 	})
 }
 
@@ -746,10 +821,12 @@ func (cl *Cluster) inv(c *Core, a addr.Addr, cont func()) {
 		cl.run.InvIssued++
 		e := cl.l2.Peek(line)
 		if e == nil || e.Pinned {
+			cl.run.Edge(trace.EdgeL2InvAbsent)
 			cont()
 			return
 		}
 		cl.run.InvUseful++
+		cl.run.Edge(trace.EdgeL2InvDrop)
 		cl.dropLine(e)
 		cont()
 	})
@@ -788,12 +865,19 @@ func (cl *Cluster) surrender(e cache.Entry) {
 	switch {
 	case e.Incoherent:
 		if e.DirtyMask != 0 {
+			cl.run.Edge(trace.EdgeL2EvictDirtyIncoh)
 			cl.send(msg.Req{Kind: msg.ReqEvict, Line: e.Line, Mask: e.DirtyMask, Data: e.Data}, nil)
+		} else {
+			cl.run.Edge(trace.EdgeL2EvictSilent)
 		}
 	case e.State == cache.StateModified:
+		cl.run.Edge(trace.EdgeL2EvictDirtyHW)
 		cl.send(msg.Req{Kind: msg.ReqEvict, Line: e.Line, Mask: e.DirtyMask, Data: e.Data}, nil)
 	case e.State == cache.StateShared && cl.cfg.ReadReleases:
+		cl.run.Edge(trace.EdgeL2EvictReadRel)
 		cl.send(msg.Req{Kind: msg.ReqReadRel, Line: e.Line}, nil)
+	default:
+		cl.run.Edge(trace.EdgeL2EvictSilent)
 	}
 }
 
@@ -822,15 +906,23 @@ func (cl *Cluster) HandleProbe(p msg.Probe, reply func(msg.ProbeReply)) {
 	switch p.Kind {
 	case msg.ProbeInv:
 		if e == nil {
+			cl.run.Edge(trace.EdgeL2ProbeInvAbsent)
 			base.Kind = msg.ReplyAck
 			reply(base)
 			return
 		}
 		if e.DirtyMask != 0 {
+			// Defensive: every live ProbeInv path targets clean copies
+			// (capture-clean clears the incoherent bit synchronously, and
+			// stores on Shared serialize behind the home's pinned txn), so
+			// this branch is unreachable today. Kept so a future protocol
+			// change cannot silently lose dirty data; deliberately not a
+			// registered coverage edge (PROTOCOL.md §7).
 			base.Kind = msg.ReplyData
 			base.Mask = e.DirtyMask
 			base.Data = e.Data
 		} else {
+			cl.run.Edge(trace.EdgeL2ProbeInvClean)
 			base.Kind = msg.ReplyAck
 		}
 		cl.l2.Invalidate(p.Line)
@@ -839,10 +931,12 @@ func (cl *Cluster) HandleProbe(p msg.Probe, reply func(msg.ProbeReply)) {
 
 	case msg.ProbeWB:
 		if e == nil {
+			cl.run.Edge(trace.EdgeL2ProbeWBAbsent)
 			base.Kind = msg.ReplyAck // eviction in flight; home will merge it
 			reply(base)
 			return
 		}
+		cl.run.Edge(trace.EdgeL2ProbeWBData)
 		base.Kind = msg.ReplyData
 		base.Mask = e.DirtyMask
 		base.Data = e.Data
@@ -853,13 +947,16 @@ func (cl *Cluster) HandleProbe(p msg.Probe, reply func(msg.ProbeReply)) {
 	case msg.ProbeCapture:
 		switch {
 		case e == nil:
+			cl.run.Edge(trace.EdgeL2CaptureAbsent)
 			base.Kind = msg.ReplyNotPresent
 		case e.DirtyMask != 0:
 			// Report dirty words; phase two decides writeback vs upgrade.
+			cl.run.Edge(trace.EdgeL2CaptureDirty)
 			base.Kind = msg.ReplyDirty
 			base.Mask = e.DirtyMask
 		default:
 			// Clean: the line becomes a hardware sharer in place.
+			cl.run.Edge(trace.EdgeL2CaptureClean)
 			e.Incoherent = false
 			e.State = cache.StateShared
 			base.Kind = msg.ReplyClean
@@ -872,6 +969,7 @@ func (cl *Cluster) HandleProbe(p msg.Probe, reply func(msg.ProbeReply)) {
 			reply(base)
 			return
 		}
+		cl.run.Edge(trace.EdgeL2CaptureUpgrade)
 		e.Incoherent = false
 		e.State = cache.StateModified
 		base.Kind = msg.ReplyAck

@@ -1,5 +1,8 @@
 package core
 
 // Debug mirrors protocol trace events to stdout in addition to the run's
-// bounded TraceLog; tests may flip it while diagnosing failures.
+// bounded TraceLog; tests may flip it while diagnosing failures. The
+// stdout mirror prints the same trace.Record the TraceLog and structured
+// sink retain, so every line carries the sim-time column regardless of
+// how many words the event detail has.
 var Debug = false

@@ -36,6 +36,7 @@ import (
 	"cohesion/internal/region"
 	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
+	"cohesion/internal/trace"
 )
 
 // ProbeFunc delivers a probe to a cluster's L2 and routes the reply back.
@@ -44,6 +45,7 @@ type ProbeFunc func(cluster int, p msg.Probe, onReply func(msg.ProbeReply))
 // Home is one L3 bank plus its directory slice and region-table port.
 type Home struct {
 	bank  int
+	name  string // "home<bank>", precomputed for the trace hot path
 	cfg   config.Machine
 	q     *event.Queue
 	run   *stats.Run
@@ -116,6 +118,7 @@ func NewHome(bank int, cfg config.Machine, q *event.Queue, run *stats.Run,
 	faults *fault.Plan) *Home {
 	return &Home{
 		bank:     bank,
+		name:     fmt.Sprintf("home%d", bank),
 		cfg:      cfg,
 		q:        q,
 		run:      run,
@@ -137,7 +140,7 @@ func NewHome(bank int, cfg config.Machine, q *event.Queue, run *stats.Run,
 func (h *Home) SetOracle(o *oracle.Oracle) { h.orc = o }
 
 // site names this bank in diagnostics and traces.
-func (h *Home) site() string { return fmt.Sprintf("home%d", h.bank) }
+func (h *Home) site() string { return h.name }
 
 // alreadyServiced reports whether a transaction ID has been granted.
 func (h *Home) alreadyServiced(id uint64) bool {
@@ -163,6 +166,7 @@ func (h *Home) markServiced(id uint64) {
 // its grant already or will discard the extra response as stale.
 func (h *Home) dropDup(req msg.Req) {
 	h.run.DupsDropped++
+	h.run.Edge(trace.EdgeRecHomeDupDrop)
 	h.trace("dup-drop %v line=%#x cluster=%d id=%#x", req.Kind, uint64(req.Line), req.Cluster, req.ID)
 }
 
@@ -238,16 +242,24 @@ func (h *Home) stage(fn func()) {
 	if h.busyUntil > start {
 		start = h.busyUntil
 	}
+	if m := h.run.Metrics; m != nil {
+		m.HomePortWait.Observe(uint64(start - h.q.Now()))
+	}
 	h.busyUntil = start + portOccupancy
 	h.q.At(start+event.Cycle(h.cfg.L3Latency), fn)
 }
 
-// trace records a home-side protocol event in the run's TraceLog (and on
-// stdout when Debug is set).
+// trace records a home-side protocol event in the run's TraceLog and
+// structured sink (and on stdout when Debug is set). The Debug mirror
+// prints the shared Record rendering, sim-time column included.
 func (h *Home) trace(format string, args ...any) {
-	h.run.TraceEvent(uint64(h.q.Now()), fmt.Sprintf("home%d", h.bank), format, args...)
+	if !h.run.Tracing() && !Debug {
+		return
+	}
+	rec := stats.TraceEntry{Cycle: uint64(h.q.Now()), Site: h.name, Event: fmt.Sprintf(format, args...)}
+	h.run.Emit(rec)
 	if Debug {
-		fmt.Printf("[home%d] "+format+"\n", append([]any{h.bank}, args...)...)
+		fmt.Println(rec.String())
 	}
 }
 
@@ -270,6 +282,9 @@ func (h *Home) process(req msg.Req, reply func(msg.Resp)) {
 			return
 		}
 		if h.txns[req.Line] != nil {
+			if m := h.run.Metrics; m != nil {
+				m.HomeQueueDepth.Observe(uint64(len(h.waiting[req.Line])))
+			}
 			h.waiting[req.Line] = append(h.waiting[req.Line], waiter{req, reply})
 			return
 		}
@@ -323,6 +338,7 @@ func (h *Home) start(req msg.Req, reply func(msg.Resp)) {
 		h.atomicFlow(req, done)
 	case msg.ReqUncLoad:
 		h.dataAccess(req.Line, func([addr.WordsPerLine]uint32) {
+			h.run.Edge(trace.EdgeHomeUncachedAtL3)
 			v := h.store.ReadWord(req.Addr)
 			if h.orc != nil {
 				h.orc.UncLoadObserved(req.Addr, v)
@@ -370,6 +386,7 @@ func (h *Home) handleEvict(req msg.Req) {
 	h.mergeToL3(req.Line, req.Mask, req.Data)
 	if t := h.txns[req.Line]; t != nil {
 		// An in-flight transaction may be waiting for exactly this data.
+		h.run.Edge(trace.EdgeHomeEvictDuringTxn)
 		t.wbArrived = true
 		if t.onWB != nil {
 			cont := t.onWB
@@ -378,6 +395,7 @@ func (h *Home) handleEvict(req msg.Req) {
 		}
 		return
 	}
+	h.run.Edge(trace.EdgeHomeEvictMerge)
 	if h.dir != nil {
 		if e := h.dir.Lookup(req.Line); e != nil && e.State == directory.Modified && e.Owner == req.Cluster {
 			h.dir.Remove(req.Line)
@@ -396,9 +414,22 @@ func (h *Home) handleReadRel(req msg.Req) {
 	if e == nil || e.State != directory.Shared {
 		return
 	}
-	e.Sharers.Remove(req.Cluster)
+	if !e.Sharers.Remove(req.Cluster) {
+		return // stale release: the entry was re-created without this sharer
+	}
 	if e.Sharers.Empty() && !e.Pinned && !e.Broadcast {
 		h.dir.Remove(req.Line)
+		h.run.Edge(trace.EdgeHomeReadRelDealloc)
+		return
+	}
+	h.run.Edge(trace.EdgeHomeReadRelSharer)
+}
+
+// addSharer records a sharer on a directory entry, marking the Dir4B
+// pointer-overflow edge when the broadcast bit is newly set.
+func (h *Home) addSharer(e *directory.Entry, cluster int) {
+	if directory.AddSharer(h.dir, e, cluster) {
+		h.run.Edge(trace.EdgeDirOverflowBcast)
 	}
 }
 
@@ -414,6 +445,7 @@ func (h *Home) dispatch(req msg.Req, done func(msg.Resp)) {
 	// Directory miss: decide the line's coherence domain.
 	h.domainOf(req.Line, func(sw bool) {
 		if sw {
+			h.run.Edge(trace.EdgeCohGrantIncoherent)
 			h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
 				done(msg.Resp{Grant: msg.GrantIncoherent, HasData: true, Data: data})
 			})
@@ -428,6 +460,7 @@ func (h *Home) dispatch(req msg.Req, done func(msg.Resp)) {
 func (h *Home) grantFresh(req msg.Req, done func(msg.Resp)) {
 	if h.faults != nil && req.ID != 0 && h.faults.NackAlloc() {
 		h.run.NacksSent++
+		h.run.Edge(trace.EdgeRecNackInjected)
 		h.trace("nack (injected) %v line=%#x cluster=%d", req.Kind, uint64(req.Line), req.Cluster)
 		done(msg.Resp{Grant: msg.GrantNack})
 		return
@@ -436,6 +469,7 @@ func (h *Home) grantFresh(req msg.Req, done func(msg.Resp)) {
 	if h.cfg.DirNackOnCapacity && req.ID != 0 {
 		nack = func() {
 			h.run.NacksSent++
+			h.run.Edge(trace.EdgeDirCapacityNack)
 			h.trace("nack (capacity) %v line=%#x cluster=%d", req.Kind, uint64(req.Line), req.Cluster)
 			done(msg.Resp{Grant: msg.GrantNack})
 		}
@@ -446,10 +480,12 @@ func (h *Home) grantFresh(req msg.Req, done func(msg.Resp)) {
 			e.State = directory.Modified
 			e.Owner = req.Cluster
 			grant = msg.GrantModified
+			h.run.Edge(trace.EdgeHomeWriteMissAllocM)
 		} else {
 			e.State = directory.Shared
+			h.run.Edge(trace.EdgeHomeReadMissAllocS)
 		}
-		directory.AddSharer(h.dir, e, req.Cluster)
+		h.addSharer(e, req.Cluster)
 		h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
 			done(msg.Resp{Grant: grant, HasData: true, Data: data})
 		})
@@ -461,7 +497,8 @@ func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entr
 	switch req.Kind {
 	case msg.ReqRead, msg.ReqInstr:
 		if e.State == directory.Shared {
-			directory.AddSharer(h.dir, e, req.Cluster)
+			h.run.Edge(trace.EdgeHomeReadHitShared)
+			h.addSharer(e, req.Cluster)
 			h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
 				done(msg.Resp{Grant: msg.GrantShared, HasData: true, Data: data})
 			})
@@ -471,6 +508,7 @@ func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entr
 		// fresh. (The owner is invalidated rather than downgraded; with the
 		// L3 as the communication point this costs one re-fetch if the old
 		// owner reads again — the paper's rationale for omitting E/O.)
+		h.run.Edge(trace.EdgeHomeReadRecallsM)
 		h.recallEntry(req.Line, e, func() {
 			h.grantFresh(req, done)
 		})
@@ -488,6 +526,7 @@ func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entr
 				return
 			}
 			// Owned dirty by another cluster.
+			h.run.Edge(trace.EdgeHomeWriteRecallsM)
 			h.recallEntry(req.Line, e, func() {
 				h.grantFresh(req, done)
 			})
@@ -501,11 +540,13 @@ func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entr
 			e.Owner = req.Cluster
 			e.Broadcast = false
 			e.Sharers = directory.Sharers{}
-			directory.AddSharer(h.dir, e, req.Cluster)
+			h.addSharer(e, req.Cluster)
 			if wasSharer {
+				h.run.Edge(trace.EdgeHomeUpgradeDataless)
 				done(msg.Resp{Grant: msg.GrantModified})
 				return
 			}
+			h.run.Edge(trace.EdgeHomeUpgradeData)
 			h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
 				done(msg.Resp{Grant: msg.GrantModified, HasData: true, Data: data})
 			})
@@ -514,6 +555,7 @@ func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entr
 			finish()
 			return
 		}
+		h.run.Edge(trace.EdgeHomeUpgradeInv)
 		pending := len(targets)
 		for _, c := range targets {
 			h.sendProbe(c, msg.Probe{Kind: msg.ProbeInv, Line: req.Line}, func(rep msg.ProbeReply) {
@@ -541,6 +583,7 @@ func (h *Home) atomicFlow(req msg.Req, done func(msg.Resp)) {
 	if h.dir != nil {
 		if e := h.dir.Lookup(req.Line); e != nil {
 			e.Pinned = true
+			h.run.Edge(trace.EdgeHomeAtomicRecall)
 			h.recallEntry(req.Line, e, func() {
 				h.atomicFlow(req, done)
 			})
@@ -591,12 +634,14 @@ func (h *Home) recallEntry(line addr.Line, e *directory.Entry, cont func()) {
 		}
 		h.sendProbe(owner, msg.Probe{Kind: msg.ProbeWB, Line: line}, func(rep msg.ProbeReply) {
 			if rep.Kind == msg.ReplyData {
+				h.run.Edge(trace.EdgeHomeRecallWBData)
 				h.mergeToL3(line, rep.Mask, rep.Data)
 				finish()
 				return
 			}
 			// Line absent at the owner: the dirty eviction is (or was) in
 			// flight. Link FIFO ordering means it normally arrived already.
+			h.run.Edge(trace.EdgeHomeRecallWBAbsent)
 			t := h.txns[line]
 			if t != nil && !t.wbArrived {
 				h.trace("recall line=%#x waiting for writeback", uint64(line))
@@ -613,6 +658,7 @@ func (h *Home) recallEntry(line addr.Line, e *directory.Entry, cont func()) {
 		cont()
 		return
 	}
+	h.run.Edge(trace.EdgeHomeRecallInv)
 	pending := len(targets)
 	for _, c := range targets {
 		h.sendProbe(c, msg.Probe{Kind: msg.ProbeInv, Line: line}, func(rep msg.ProbeReply) {
@@ -655,6 +701,7 @@ func (h *Home) allocEntry(line addr.Line, nack func(), cont func(*directory.Entr
 			return
 		}
 		// Retry once one drains.
+		h.run.Edge(trace.EdgeDirAllocRetryPinned)
 		h.q.After(retryDelay, func() { h.allocEntry(line, nack, cont) })
 		return
 	}
@@ -666,6 +713,7 @@ func (h *Home) allocEntry(line addr.Line, nack func(), cont func(*directory.Entr
 		return
 	}
 	h.run.DirEvictions++
+	h.run.Edge(trace.EdgeDirCapacityEvict)
 	h.txns[victimLine] = &txn{}
 	h.recallEntry(victimLine, v, func() {
 		h.completeTxn(victimLine)
@@ -679,6 +727,7 @@ func (h *Home) probeTargets(e *directory.Entry, skip int) []int {
 	var out []int
 	if e.Broadcast {
 		h.run.DirBroadcasts++
+		h.run.Edge(trace.EdgeDirBroadcastProbe)
 		for c := 0; c < h.cfg.Clusters; c++ {
 			if c != skip {
 				out = append(out, c)

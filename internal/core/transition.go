@@ -6,6 +6,7 @@ import (
 	"cohesion/internal/directory"
 	"cohesion/internal/msg"
 	"cohesion/internal/region"
+	"cohesion/internal/trace"
 )
 
 // domainOf decides which coherence domain a line with no directory entry
@@ -25,6 +26,7 @@ func (h *Home) domainOf(line addr.Line, cont func(sw bool)) {
 	}
 	base := line.Base()
 	if h.coarse != nil && h.coarse.Contains(base) {
+		h.run.Edge(trace.EdgeCohDomainCoarse)
 		cont(true)
 		return
 	}
@@ -34,7 +36,13 @@ func (h *Home) domainOf(line addr.Line, cont func(sw bool)) {
 	}
 	wa := region.TblWordAddr(base, h.cfg.L3Banks)
 	h.tableAccess(wa, func(word uint32) {
-		cont(word&(1<<region.TblBitIndex(base)) != 0)
+		sw := word&(1<<region.TblBitIndex(base)) != 0
+		if sw {
+			h.run.Edge(trace.EdgeCohDomainFineSW)
+		} else {
+			h.run.Edge(trace.EdgeCohDomainFineHW)
+		}
+		cont(sw)
 	})
 }
 
@@ -86,6 +94,7 @@ func (h *Home) transitionChanged(wordAddr addr.Addr, changed, newWord uint32, co
 // retrying while a regular request holds it.
 func (h *Home) acquireLine(line addr.Line, body func()) {
 	if h.txns[line] != nil {
+		h.run.Edge(trace.EdgeCohWaitsTxn)
 		h.q.After(retryDelay, func() { h.acquireLine(line, body) })
 		return
 	}
@@ -111,8 +120,14 @@ func (h *Home) transitionToSW(line addr.Line, cont func(raced bool)) {
 		}
 		e := h.dir.Lookup(line)
 		if e == nil {
+			h.run.Edge(trace.EdgeCohToSWNoEntry)
 			finish()
 			return
+		}
+		if e.State == directory.Modified {
+			h.run.Edge(trace.EdgeCohToSWRecallM)
+		} else {
+			h.run.Edge(trace.EdgeCohToSWInvShared)
 		}
 		e.Pinned = true
 		h.recallEntry(line, e, finish)
@@ -150,6 +165,7 @@ func (h *Home) transitionToHW(line addr.Line, cont func(raced bool)) {
 		// line. Tear that state down first: recalled copies land in the L3,
 		// and only pre-flip incoherent copies remain for the capture to see.
 		if e := h.dir.Lookup(line); e != nil {
+			h.run.Edge(trace.EdgeCohToHWRecallFirst)
 			e.Pinned = true
 			h.recallEntry(line, e, broadcast)
 			return
@@ -183,26 +199,29 @@ func (h *Home) captureDecide(line addr.Line, replies []msg.ProbeReply, cont func
 	case len(dirty) == 0 && len(clean) == 0:
 		// Cached nowhere (Figure 7b Case 1b): no entry needed until the
 		// next request allocates one.
+		h.run.Edge(trace.EdgeCohToHWUncached)
 		finish()
 
 	case len(dirty) == 0:
 		// Clean copies only (Case 2b): they already cleared their
 		// incoherent bits; record them as hardware sharers.
+		h.run.Edge(trace.EdgeCohToHWClean)
 		h.allocEntry(line, nil, func(e *directory.Entry) {
 			e.State = directory.Shared
 			for _, rep := range clean {
-				directory.AddSharer(h.dir, e, rep.Cluster)
+				h.addSharer(e, rep.Cluster)
 			}
 			finish()
 		})
 
 	case len(dirty) == 1 && len(clean) == 0:
 		// Single dirty writer (Case 4b): upgrade in place, no writeback.
+		h.run.Edge(trace.EdgeCohToHWUpgrade)
 		owner := dirty[0].Cluster
 		h.allocEntry(line, nil, func(e *directory.Entry) {
 			e.State = directory.Modified
 			e.Owner = owner
-			directory.AddSharer(h.dir, e, owner)
+			h.addSharer(e, owner)
 			h.sendProbe(owner, msg.Probe{Kind: msg.ProbeUpgradeOwner, Line: line}, func(rep msg.ProbeReply) {
 				if rep.Kind == msg.ReplyNotPresent {
 					// The owner evicted between phases; its dirty eviction
@@ -218,11 +237,13 @@ func (h *Home) captureDecide(line addr.Line, replies []msg.ProbeReply, cont func
 		// Mixed sharers or multiple writers (Cases 3b/5b): write back every
 		// dirty copy, invalidate every clean copy; the per-word masks let
 		// the L3 merge disjoint write sets. Overlap is the Case 5b race.
+		h.run.Edge(trace.EdgeCohToHWMerge)
 		var seen uint8
 		for _, rep := range dirty {
 			if seen&rep.Mask != 0 {
 				h.run.OverlapRaces++
 				raced = true
+				h.run.Edge(trace.EdgeCohToHWOverlap)
 			}
 			seen |= rep.Mask
 		}

@@ -141,12 +141,15 @@ type Directory interface {
 
 // AddSharer records cluster as a sharer of e, honoring the pointer limit
 // of limited organizations: when a fifth sharer arrives, the broadcast bit
-// is set and the precise set is no longer trusted.
-func AddSharer(d Directory, e *Entry, cluster int) {
-	if d.Limited() && !e.Broadcast && !e.Sharers.Has(cluster) && e.Sharers.Count() >= LimitedPointers {
+// is set and the precise set is no longer trusted. It reports whether this
+// call newly set the broadcast bit (a pointer overflow).
+func AddSharer(d Directory, e *Entry, cluster int) bool {
+	overflow := d.Limited() && !e.Broadcast && !e.Sharers.Has(cluster) && e.Sharers.Count() >= LimitedPointers
+	if overflow {
 		e.Broadcast = true
 	}
 	e.Sharers.Add(cluster)
+	return overflow
 }
 
 // --- Infinite full-map ---

@@ -1,0 +1,164 @@
+package machine
+
+import (
+	"testing"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/cluster"
+	"cohesion/internal/config"
+	"cohesion/internal/trace"
+)
+
+// covered reports whether the edge fired at least once in the run.
+func covered(m *Machine, e trace.EdgeID) bool {
+	return m.Run.Coverage != nil && m.Run.Coverage.Count(e) > 0
+}
+
+// TestDirectoryCapacityEviction streams more distinct lines through a home
+// bank than its directory can hold. Every organization with finite storage
+// must evict (recalling the L2 copies, since the directory is inclusive)
+// and still return the right data on re-read; the infinite directory is
+// the control row and must never evict.
+func TestDirectoryCapacityEviction(t *testing.T) {
+	const lines = 16
+	cases := []struct {
+		name          string
+		kind          config.DirKind
+		entries       int
+		assoc         int
+		wantEvictions bool
+	}{
+		{"sparse-set-assoc", config.DirSparse, 4, 2, true},
+		{"sparse-fully-assoc", config.DirSparse, 4, 0, true},
+		{"dir4b-limited", config.DirLimited4B, 4, 2, true},
+		{"infinite-control", config.DirInfinite, 0, 0, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := hwccCfg(1).WithDirectory(tc.kind, tc.entries, tc.assoc)
+			m := newMachine(t, cfg)
+			m.Run.Coverage = trace.NewCoverage()
+			var got [lines]uint32
+			program(m, 0, func(c *cluster.Core) {
+				for i := 0; i < lines; i++ {
+					st(c, addr.Addr(addr.HeapBase)+addr.Addr(32*i), uint32(100+i))
+				}
+				for i := 0; i < lines; i++ {
+					got[i] = ld(c, addr.Addr(addr.HeapBase)+addr.Addr(32*i))
+				}
+			})
+			simulate(t, m)
+			for i, v := range got {
+				if v != uint32(100+i) {
+					t.Fatalf("line %d read %d, want %d", i, v, 100+i)
+				}
+			}
+			if tc.wantEvictions {
+				if m.Run.DirEvictions == 0 {
+					t.Fatal("finite directory under 4x pressure never evicted")
+				}
+				if !covered(m, trace.EdgeDirCapacityEvict) {
+					t.Fatal("evictions counted but dir.capacity_evict never fired")
+				}
+			} else {
+				if m.Run.DirEvictions != 0 {
+					t.Fatalf("infinite directory evicted %d entries", m.Run.DirEvictions)
+				}
+			}
+		})
+	}
+}
+
+// TestDirNackOnCapacity drives two clusters at a one-entry directory so
+// that one request always finds the only way pinned by the other's
+// in-flight transaction. With DirNackOnCapacity the home bounces the
+// requester (who must back off and retransmit); without it the home
+// silently retries the allocation itself. Both must converge to the same
+// final data.
+func TestDirNackOnCapacity(t *testing.T) {
+	const lines = 8
+	run := func(t *testing.T, nackOnCapacity bool) *Machine {
+		t.Helper()
+		cfg := hwccCfg(2).WithDirectory(config.DirSparse, 1, 1)
+		cfg.DirNackOnCapacity = nackOnCapacity
+		m := newMachine(t, cfg)
+		m.Run.Coverage = trace.NewCoverage()
+		for core, base := range map[int]addr.Addr{0: addr.HeapBase, 8: addr.HeapBase + 32*lines} {
+			base := base
+			program(m, core, func(c *cluster.Core) {
+				for i := 0; i < lines; i++ {
+					st(c, base+addr.Addr(32*i), uint32(base)+uint32(i))
+				}
+			})
+		}
+		simulate(t, m)
+		m.DrainToMemory()
+		for _, base := range []addr.Addr{addr.HeapBase, addr.HeapBase + 32*lines} {
+			for i := 0; i < lines; i++ {
+				if v := m.Store.ReadWord(base + addr.Addr(32*i)); v != uint32(base)+uint32(i) {
+					t.Fatalf("word %d at base %#x drained as %d", i, uint64(base), v)
+				}
+			}
+		}
+		return m
+	}
+
+	for _, tc := range []struct {
+		name string
+		nack bool
+	}{
+		{"nack-on-capacity", true},
+		{"silent-retry", false},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			m := run(t, tc.nack)
+			if tc.nack {
+				if m.Run.NacksSent == 0 {
+					t.Fatal("capacity starvation sent no NACKs")
+				}
+				if m.Run.NackRetries == 0 {
+					t.Fatal("NACKs sent but no requester retransmitted")
+				}
+				if !covered(m, trace.EdgeDirCapacityNack) {
+					t.Fatal("dir.capacity_nack never fired")
+				}
+			} else {
+				if m.Run.NacksSent != 0 {
+					t.Fatalf("no fault plan and no capacity NACKs configured, yet %d NACKs sent", m.Run.NacksSent)
+				}
+				if !covered(m, trace.EdgeDirAllocRetryPinned) {
+					t.Fatal("dir.alloc_retry_pinned never fired")
+				}
+			}
+		})
+	}
+}
+
+// TestDirectoryEvictionRecallsDirtyOwner pins down the data path of a
+// capacity eviction: a dirty line recalled by an eviction must write its
+// data back before the entry is reused, so a later read returns the
+// stored value even though the owner's L2 copy was invalidated.
+func TestDirectoryEvictionRecallsDirtyOwner(t *testing.T) {
+	cfg := hwccCfg(1).WithDirectory(config.DirSparse, 1, 1)
+	m := newMachine(t, cfg)
+	a := addr.Addr(addr.HeapBase)
+	var got uint32
+	program(m, 0, func(c *cluster.Core) {
+		st(c, a, 777) // dirty in cluster 0, directory entry Modified
+		for i := 1; i <= 4; i++ {
+			_ = ld(c, a+addr.Addr(2048*i)) // each evicts the previous entry
+		}
+		got = ld(c, a) // must refetch the written-back value
+	})
+	simulate(t, m)
+	if got != 777 {
+		t.Fatalf("read-after-eviction = %d, want 777", got)
+	}
+	if m.Run.DirEvictions == 0 {
+		t.Fatal("no evictions occurred")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"cohesion/internal/region"
 	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
+	"cohesion/internal/trace"
 )
 
 // Machine is one assembled processor plus its measurement state.
@@ -148,11 +149,13 @@ func (m *Machine) deliverReq(clusterID int, req msg.Req, onResp func(msg.Resp)) 
 	if m.faults != nil && req.Kind.Retryable() && req.ID != 0 {
 		switch m.faults.RequestVerdict() {
 		case fault.Drop:
+			m.Run.Edge(trace.EdgeRecNetDrop)
 			m.Run.TraceEvent(uint64(m.Q.Now()), "net", "drop %v line=%#x cl%d id=%#x",
 				req.Kind, uint64(req.Line.Base()), clusterID, req.ID)
 			m.Net.ToBank(clusterID, bank, req.Bytes(), func() {})
 			return
 		case fault.Duplicate:
+			m.Run.Edge(trace.EdgeRecNetDup)
 			m.Run.TraceEvent(uint64(m.Q.Now()), "net", "dup %v line=%#x cl%d id=%#x",
 				req.Kind, uint64(req.Line.Base()), clusterID, req.ID)
 			m.Net.ToBank(clusterID, bank, req.Bytes(), deliver)
@@ -387,6 +390,9 @@ func (m *Machine) scheduleSample() {
 		var total uint64
 		for _, n := range byClass {
 			total += n
+		}
+		if mm := m.Run.Metrics; mm != nil {
+			mm.DirOccupancy.Observe(total)
 		}
 		if len(m.Run.Timeline) < 1<<16 {
 			m.Run.Timeline = append(m.Run.Timeline, stats.TimelineSample{

@@ -11,6 +11,7 @@ import (
 
 	"cohesion/internal/addr"
 	"cohesion/internal/msg"
+	"cohesion/internal/trace"
 )
 
 // Run accumulates every measurement for one simulation.
@@ -80,6 +81,19 @@ type Run struct {
 	// Trace, when non-nil, retains the tail of the protocol event history
 	// (see TraceLog). Enabled via machine.Machine.EnableTrace.
 	Trace *TraceLog
+
+	// Sink, when non-nil, streams every protocol event into the bounded
+	// structured-trace ring for Chrome-trace/text export (internal/trace).
+	Sink *trace.Sink
+
+	// Coverage, when non-nil, marks protocol-transition edges as they
+	// fire. It may be shared by many simulations (marks are atomic) to
+	// aggregate coverage across a test or fuzz batch.
+	Coverage *trace.Coverage
+
+	// Metrics, when non-nil, collects sim-time histograms (message
+	// latency by class, port waits, queue depths, directory occupancy).
+	Metrics *Metrics
 
 	// PhaseMarks records each global barrier release: the cycle it
 	// happened and the cumulative message count at that point, giving a

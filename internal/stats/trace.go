@@ -3,18 +3,15 @@ package stats
 import (
 	"fmt"
 	"strings"
+
+	"cohesion/internal/trace"
 )
 
-// TraceEntry is one protocol event retained by the bounded trace log.
-type TraceEntry struct {
-	Cycle uint64
-	Site  string // component that emitted it, e.g. "home3", "cl0"
-	Event string
-}
-
-func (e TraceEntry) String() string {
-	return fmt.Sprintf("%10d %-8s %s", e.Cycle, e.Site, e.Event)
-}
+// TraceEntry is one protocol event retained by the bounded trace log. It
+// is the shared record type of internal/trace, so the post-mortem ring,
+// the streaming sink, and the Debug stdout mirrors all render events
+// identically (sim-time column included).
+type TraceEntry = trace.Record
 
 // TraceLog is a fixed-capacity ring of protocol events. When full, the
 // oldest entries are overwritten — after a run it holds the tail of the
@@ -36,8 +33,12 @@ func NewTraceLog(capacity int) *TraceLog {
 
 // Add appends an event, evicting the oldest when full.
 func (l *TraceLog) Add(cycle uint64, site, event string) {
+	l.AddRecord(TraceEntry{Cycle: cycle, Site: site, Event: event})
+}
+
+// AddRecord appends a prepared record, evicting the oldest when full.
+func (l *TraceLog) AddRecord(e TraceEntry) {
 	l.total++
-	e := TraceEntry{Cycle: cycle, Site: site, Event: event}
 	if len(l.entries) < l.cap {
 		l.entries = append(l.entries, e)
 		return
@@ -75,11 +76,33 @@ func (l *TraceLog) Dump() string {
 	return b.String()
 }
 
+// Tracing reports whether any event consumer is attached; emitters use it
+// to skip the Sprintf that renders an event's detail.
+func (r *Run) Tracing() bool { return r.Trace != nil || r.Sink != nil }
+
+// Emit hands a prepared record to every attached consumer.
+func (r *Run) Emit(rec TraceEntry) {
+	if r.Trace != nil {
+		r.Trace.AddRecord(rec)
+	}
+	if r.Sink != nil {
+		r.Sink.Add(rec)
+	}
+}
+
 // TraceEvent records a protocol event when tracing is enabled; it is a
 // no-op (and avoids the Sprintf) otherwise.
 func (r *Run) TraceEvent(cycle uint64, site, format string, args ...any) {
-	if r.Trace == nil {
+	if !r.Tracing() {
 		return
 	}
-	r.Trace.Add(cycle, site, fmt.Sprintf(format, args...))
+	r.Emit(TraceEntry{Cycle: cycle, Site: site, Event: fmt.Sprintf(format, args...)})
+}
+
+// Edge marks a protocol-transition edge as exercised when a coverage
+// tracker is attached; nil-checked so the hot paths pay one branch.
+func (r *Run) Edge(e trace.EdgeID) {
+	if r.Coverage != nil {
+		r.Coverage.Mark(e)
+	}
 }

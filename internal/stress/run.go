@@ -8,6 +8,7 @@ import (
 	"cohesion/internal/msg"
 	"cohesion/internal/region"
 	"cohesion/internal/stats"
+	"cohesion/internal/trace"
 )
 
 // maxCycles bounds a stress run; legitimate programs finish far earlier,
@@ -20,10 +21,28 @@ const maxCycles = 500_000_000
 func BuildMachine(cfg Config) (*machine.Machine, error) {
 	mc := config.Scaled(cfg.Clusters).WithMode(cfg.mode())
 	if cfg.mode() != config.SWcc {
-		mc = mc.WithDirectory(config.DirSparse, 256, 8)
+		entries, assoc := 256, 8
+		if cfg.DirEntries > 0 {
+			entries = cfg.DirEntries
+		}
+		if cfg.DirAssoc > 0 {
+			assoc = cfg.DirAssoc
+		}
+		kind := config.DirSparse
+		switch cfg.Dir {
+		case "dir4b":
+			kind = config.DirLimited4B
+		case "infinite":
+			kind = config.DirInfinite
+		}
+		mc = mc.WithDirectory(kind, entries, assoc)
+		mc.DirNackOnCapacity = cfg.NackOnCapacity
 	}
 	mc.L2Size = 1 << 10 // 32 lines: fuzz lines collide and evict constantly
 	mc.L2Assoc = 4
+	if cfg.MSHRs > 0 {
+		mc.L2MSHRs = cfg.MSHRs
+	}
 	mc.OracleEnabled = true
 	mc.TraceRingSize = cfg.TraceRing
 	if cfg.Faults {
@@ -44,9 +63,23 @@ type Result struct {
 	Trace       []stats.TraceEntry
 }
 
+// RunOpts attaches observability consumers to a stress run.
+type RunOpts struct {
+	// Coverage, when non-nil, records which protocol-transition edges the
+	// run exercised (shared trackers aggregate across a batch).
+	Coverage *trace.Coverage
+	// Sink, when non-nil, streams every protocol event for export.
+	Sink *trace.Sink
+	// Metrics enables the sim-time histogram registry.
+	Metrics bool
+}
+
 // RunProgram executes a stress program to completion or first failure
 // (oracle violation, deadlock, retry exhaustion, quiescence invariant).
-func RunProgram(p Program) Result {
+func RunProgram(p Program) Result { return RunProgramOpts(p, RunOpts{}) }
+
+// RunProgramOpts is RunProgram with observability consumers attached.
+func RunProgramOpts(p Program, opts RunOpts) Result {
 	cfg := p.Cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return Result{Err: err}
@@ -54,6 +87,11 @@ func RunProgram(p Program) Result {
 	m, err := BuildMachine(cfg)
 	if err != nil {
 		return Result{Err: err}
+	}
+	m.Run.Coverage = opts.Coverage
+	m.Run.Sink = opts.Sink
+	if opts.Metrics {
+		m.Run.Metrics = stats.NewMetrics()
 	}
 	if cfg.mode() == config.Cohesion {
 		// Odd-indexed lines (the private corruption line included, when

@@ -55,6 +55,25 @@ type Config struct {
 	// TraceRing is the protocol trace ring capacity captured into repro
 	// files (0 selects a default of 256).
 	TraceRing int `json:"trace_ring,omitempty"`
+
+	// MSHRs overrides the per-cluster L2 miss-status-register count
+	// (0 keeps the machine default). Small values force MSHR stalls.
+	MSHRs int `json:"mshrs,omitempty"`
+
+	// Dir selects the directory organization: "" or "sparse" (the stress
+	// default), "dir4b" (pointer-limited), or "infinite". Ignored in swcc
+	// mode, which runs directory-less.
+	Dir string `json:"dir,omitempty"`
+
+	// DirEntries and DirAssoc override the per-bank directory geometry
+	// (0 keeps the stress defaults of 256 entries, 8-way). Tiny
+	// directories force capacity evictions and allocation stalls.
+	DirEntries int `json:"dir_entries,omitempty"`
+	DirAssoc   int `json:"dir_assoc,omitempty"`
+
+	// NackOnCapacity makes home banks NACK allocations when every
+	// candidate directory way is pinned, instead of silently retrying.
+	NackOnCapacity bool `json:"nack_on_capacity,omitempty"`
 }
 
 // WithDefaults fills zero-valued knobs with sensible defaults.
@@ -98,6 +117,15 @@ func (c Config) Validate() error {
 		return simerr.Config("stress: WorkersPerCluster = %d outside [1, 8]", c.WorkersPerCluster)
 	case c.TraceRing < 0:
 		return simerr.Config("stress: TraceRing must be non-negative")
+	case c.MSHRs < 0:
+		return simerr.Config("stress: MSHRs must be non-negative")
+	case c.DirEntries < 0 || c.DirAssoc < 0:
+		return simerr.Config("stress: directory geometry must be non-negative")
+	}
+	switch c.Dir {
+	case "", "sparse", "dir4b", "infinite":
+	default:
+		return simerr.Config("stress: unknown dir %q (want sparse, dir4b, or infinite)", c.Dir)
 	}
 	return nil
 }

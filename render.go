@@ -61,6 +61,17 @@ func OccupancyCSV(rows []OccupancyRow) string {
 	return b.String()
 }
 
+// LatencyCSV renders message-latency table rows.
+func LatencyCSV(rows []MsgLatencyRow) string {
+	var b strings.Builder
+	b.WriteString("kernel,config,class,count,mean,p50,p90,p99,max\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%.2f,%d,%d,%d,%d\n",
+			r.Kernel, r.Config, r.Class, r.Count, r.Mean, r.P50, r.P90, r.P99, r.Max)
+	}
+	return b.String()
+}
+
 // RuntimeCSV renders Figure 10 rows.
 func RuntimeCSV(rows []RuntimeRow) string {
 	var b strings.Builder
