@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +45,12 @@ type Report struct {
 	EventEngine EventEngineBench `json:"event_engine"`
 	Simulations []SimBench       `json:"simulations"`
 	Fanout      FanoutBench      `json:"fanout"`
+
+	// Lifecycle measures the run-lifecycle layer's observability-neutrality
+	// contract: a SimulateCtx run with an armed (never-tripping) budget must
+	// cost the same per event as a bare Simulate run, and produce the same
+	// memory fingerprint.
+	Lifecycle LifecycleBench `json:"lifecycle"`
 
 	// MetricsSample is one instrumented run's sim-time histogram digest
 	// (message latency by class, port waits, queue depths, occupancy),
@@ -76,6 +83,18 @@ type SimBench struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	Fingerprint    uint64  `json:"mem_fingerprint"`
+}
+
+// LifecycleBench compares one kernel run without lifecycle controls
+// against the same run under a context and an event budget large enough
+// never to trip: the per-event deltas are the cancellation hook's cost.
+type LifecycleBench struct {
+	Kernel            string  `json:"kernel"`
+	Mode              string  `json:"mode"`
+	BareNsPerEvent    float64 `json:"bare_ns_per_event"`
+	LimitsNsPerEvent  float64 `json:"limits_ns_per_event"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	FingerprintsMatch bool    `json:"fingerprints_match"`
 }
 
 // FanoutBench compares the Figure 9a sweep serial vs parallel.
@@ -138,6 +157,18 @@ func main() {
 	rep.MetricsSample = ms
 	fmt.Printf("  %s/%s: %d message classes with latency histograms\n",
 		ms.Kernel, ms.Mode, len(ms.Metrics.MsgLatency))
+
+	fmt.Println("== run lifecycle: cancellation-hook overhead (armed, never trips) ==")
+	lb, err := benchLifecycle(kernelList[0], *seed, scale)
+	if err != nil {
+		fatal("lifecycle: %v", err)
+	}
+	rep.Lifecycle = lb
+	fmt.Printf("  %s/%s: bare %.1f ns/event, with limits %.1f ns/event -> %+.1f%% overhead, fingerprints match: %v\n",
+		lb.Kernel, lb.Mode, lb.BareNsPerEvent, lb.LimitsNsPerEvent, lb.OverheadPct, lb.FingerprintsMatch)
+	if !lb.FingerprintsMatch {
+		fatal("lifecycle-controlled run diverged from the bare run")
+	}
 
 	fmt.Println("== experiment fan-out: Figure 9a sweep, serial vs parallel ==")
 	fb, err := benchFanout(*short, *parallel, *seed)
@@ -242,6 +273,58 @@ func benchMetricsSample(kernel string, seed int64, scale int) (*MetricsSampleBen
 		Kernel:  kernel,
 		Mode:    res.Mode.String(),
 		Metrics: res.Stats.Metrics.Export(),
+	}, nil
+}
+
+// benchLifecycle runs one kernel twice — bare Run, then RunCtx under a
+// cancelable context and a deterministic event budget too large to trip —
+// and reports the per-event cost delta plus whether the two runs computed
+// the same memory image. Budget compares run every event and the context
+// poll is amortized, so the target is ~0% overhead.
+func benchLifecycle(kernel string, seed int64, scale int) (LifecycleBench, error) {
+	cfg := cohesion.ScaledConfig(4).WithMode(cohesion.Cohesion)
+	rc := cohesion.RunConfig{Machine: cfg, Kernel: kernel, Scale: scale, Seed: seed}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Interleave the two variants and keep each one's fastest pass: a
+	// single run here is ~0.1s, small enough that GC pauses and machine
+	// construction dominate a one-shot wall reading.
+	const passes = 3
+	bareNs, limNs := 0.0, 0.0
+	match := true
+	for i := 0; i < passes; i++ {
+		rc.Limits = cohesion.RunLimits{}
+		start := time.Now()
+		bare, err := cohesion.Run(rc)
+		bareWall := time.Since(start)
+		if err != nil {
+			return LifecycleBench{}, err
+		}
+
+		rc.Limits = cohesion.RunLimits{MaxEvents: 1 << 62}
+		start = time.Now()
+		limited, err := cohesion.RunCtx(ctx, rc)
+		limitedWall := time.Since(start)
+		if err != nil {
+			return LifecycleBench{}, err
+		}
+
+		match = match && bare.MemFingerprint == limited.MemFingerprint
+		if ns := float64(bareWall.Nanoseconds()) / float64(bare.Stats.Events); i == 0 || ns < bareNs {
+			bareNs = ns
+		}
+		if ns := float64(limitedWall.Nanoseconds()) / float64(limited.Stats.Events); i == 0 || ns < limNs {
+			limNs = ns
+		}
+	}
+	return LifecycleBench{
+		Kernel:            kernel,
+		Mode:              cohesion.Cohesion.String(),
+		BareNsPerEvent:    bareNs,
+		LimitsNsPerEvent:  limNs,
+		OverheadPct:       (limNs - bareNs) / bareNs * 100,
+		FingerprintsMatch: match,
 	}, nil
 }
 

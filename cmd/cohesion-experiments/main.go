@@ -12,12 +12,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"cohesion"
 	"cohesion/internal/stats"
@@ -26,9 +30,19 @@ import (
 var (
 	csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	parallel = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = one per CPU, 1 = serial)")
+
+	// sweepDegraded records that at least one sweep cell failed (its row
+	// rendered as failed(...)); the process exits nonzero at the end, after
+	// every figure has still been printed.
+	sweepDegraded bool
+	// canceled records that a sweep ended on cooperative cancellation
+	// (SIGINT/SIGTERM or -timeout), for the 130 exit code.
+	canceled bool
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		fig        = flag.String("fig", "all", "which figure: 2, 3, 8, 9a, 9b, 9c, 10, latency, area, table3, summary, scaling, all")
 		clusters   = flag.Int("clusters", 0, "clusters (0 = harness default)")
@@ -37,10 +51,21 @@ func main() {
 		seed       = flag.Int64("seed", 42, "workload seed")
 		kernels    = flag.String("kernels", "", "comma-separated kernel subset (default all)")
 		verify     = flag.Bool("verify", false, "verify kernel outputs on every run (slower)")
+		timeout    = flag.Duration("timeout", 0, "whole-command wall-clock deadline (0 = none); hitting it cancels remaining runs")
+		maxEvents  = flag.Uint64("max-events", 0, "per-run deterministic event budget (0 = none); budget-ended cells render as failed(...)")
+		maxWall    = flag.Duration("max-wall", 0, "per-run wall-clock budget (0 = none); non-reproducible stop point")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -65,6 +90,8 @@ func main() {
 		Seed:     *seed,
 		Verify:   *verify,
 		Parallel: *parallel,
+		Ctx:      ctx,
+		Limits:   cohesion.RunLimits{MaxEvents: *maxEvents, WallBudget: *maxWall},
 	}
 	if *kernels != "" {
 		p.Kernels = strings.Split(*kernels, ",")
@@ -88,13 +115,41 @@ func main() {
 		for _, name := range []string{"table3", "2", "3", "8", "9a", "9b", "9c", "10", "area", "summary"} {
 			figures[name](p)
 		}
-		return
+		return exitCode()
 	}
 	f, ok := figures[*fig]
 	if !ok {
 		check(fmt.Errorf("unknown figure %q", *fig))
 	}
 	f(p)
+	return exitCode()
+}
+
+// exitCode maps the degradation state to the process exit code: 0 clean,
+// 130 when a sweep was canceled (SIGINT/-timeout, shell convention for
+// SIGINT), 1 when cells failed but the sweep completed.
+func exitCode() int {
+	switch {
+	case canceled:
+		return 130
+	case sweepDegraded:
+		return 1
+	}
+	return 0
+}
+
+// note reports a sweep-level error without aborting: the figure's table
+// (with failed(...) cells) has already been printed; the full failure
+// detail goes to stderr and the process exits nonzero at the end.
+func note(err error) {
+	if err == nil {
+		return
+	}
+	sweepDegraded = true
+	if errors.Is(err, cohesion.ErrCanceled) {
+		canceled = true
+	}
+	fmt.Fprintln(os.Stderr, "cohesion-experiments:", err)
 }
 
 func showTable3(cohesion.ExpParams) {
@@ -106,7 +161,7 @@ func showTable3(cohesion.ExpParams) {
 
 func showFig2(p cohesion.ExpParams) {
 	rows, err := cohesion.Fig2(p)
-	check(err)
+	note(err)
 	if *csvOut {
 		fmt.Print(cohesion.BreakdownCSV(rows))
 		return
@@ -117,7 +172,7 @@ func showFig2(p cohesion.ExpParams) {
 
 func showFig3(p cohesion.ExpParams) {
 	rows, err := cohesion.Fig3(p)
-	check(err)
+	note(err)
 	if *csvOut {
 		fmt.Print(cohesion.FlushEfficiencyCSV(rows))
 		return
@@ -125,6 +180,10 @@ func showFig3(p cohesion.ExpParams) {
 	fmt.Println("== Figure 3: useful SWcc coherence instructions vs L2 size ==")
 	t := &stats.Table{Header: []string{"kernel", "L2", "useful-inv", "useful-wb"}}
 	for _, r := range rows {
+		if r.Failed != "" {
+			t.Add(r.Kernel, fmt.Sprintf("%dK", r.L2KB), r.Failed, "-")
+			continue
+		}
 		t.Add(r.Kernel, fmt.Sprintf("%dK", r.L2KB), fmt.Sprintf("%.3f", r.UsefulInv), fmt.Sprintf("%.3f", r.UsefulWB))
 	}
 	fmt.Println(t)
@@ -132,7 +191,7 @@ func showFig3(p cohesion.ExpParams) {
 
 func showFig8(p cohesion.ExpParams) {
 	rows, err := cohesion.Fig8(p)
-	check(err)
+	note(err)
 	if *csvOut {
 		fmt.Print(cohesion.BreakdownCSV(rows))
 		return
@@ -143,7 +202,7 @@ func showFig8(p cohesion.ExpParams) {
 
 func showFig9(p cohesion.ExpParams, name string, mode cohesion.Mode) {
 	pts, err := cohesion.Fig9Sweep(p, mode)
-	check(err)
+	note(err)
 	if *csvOut {
 		fmt.Print(cohesion.DirSweepCSV(pts))
 		return
@@ -155,6 +214,10 @@ func showFig9(p cohesion.ExpParams, name string, mode cohesion.Mode) {
 		if pt.EntriesPerBank == 0 {
 			lbl = "inf"
 		}
+		if pt.Failed != "" {
+			t.Add(pt.Kernel, lbl, pt.Failed, "-")
+			continue
+		}
 		t.Add(pt.Kernel, lbl, fmt.Sprint(pt.Cycles), fmt.Sprintf("%.2f", pt.Slowdown))
 	}
 	fmt.Println(t)
@@ -162,7 +225,7 @@ func showFig9(p cohesion.ExpParams, name string, mode cohesion.Mode) {
 
 func showFig9c(p cohesion.ExpParams) {
 	rows, err := cohesion.Fig9c(p)
-	check(err)
+	note(err)
 	if *csvOut {
 		fmt.Print(cohesion.OccupancyCSV(rows))
 		return
@@ -170,6 +233,10 @@ func showFig9c(p cohesion.ExpParams) {
 	fmt.Println("== Figure 9c: directory entries allocated (unbounded directory) ==")
 	t := &stats.Table{Header: []string{"kernel", "config", "mean", "code", "heap/global", "stack", "max"}}
 	for _, r := range rows {
+		if r.Failed != "" {
+			t.Add(r.Kernel, r.Config, r.Failed, "-", "-", "-", "-")
+			continue
+		}
 		t.Add(r.Kernel, r.Config, fmt.Sprintf("%.0f", r.MeanTotal), fmt.Sprintf("%.0f", r.MeanCode),
 			fmt.Sprintf("%.0f", r.MeanHeap), fmt.Sprintf("%.0f", r.MeanStack), fmt.Sprint(r.MaxTotal))
 	}
@@ -178,7 +245,7 @@ func showFig9c(p cohesion.ExpParams) {
 
 func showFig10(p cohesion.ExpParams) {
 	rows, err := cohesion.Fig10(p)
-	check(err)
+	note(err)
 	if *csvOut {
 		fmt.Print(cohesion.RuntimeCSV(rows))
 		return
@@ -186,6 +253,10 @@ func showFig10(p cohesion.ExpParams) {
 	fmt.Println("== Figure 10: run time normalized to Cohesion (full-map) ==")
 	t := &stats.Table{Header: []string{"kernel", "config", "cycles", "normalized"}}
 	for _, r := range rows {
+		if r.Failed != "" {
+			t.Add(r.Kernel, r.Config, r.Failed, "-")
+			continue
+		}
 		t.Add(r.Kernel, r.Config, fmt.Sprint(r.Cycles), fmt.Sprintf("%.2f", r.Normalized))
 	}
 	fmt.Println(t)
@@ -193,7 +264,7 @@ func showFig10(p cohesion.ExpParams) {
 
 func showLatency(p cohesion.ExpParams) {
 	rows, err := cohesion.LatencyTable(p)
-	check(err)
+	note(err)
 	if *csvOut {
 		fmt.Print(cohesion.LatencyCSV(rows))
 		return
@@ -201,6 +272,10 @@ func showLatency(p cohesion.ExpParams) {
 	fmt.Println("== Message latency: issue-to-settle sim time by class (cycles) ==")
 	t := &stats.Table{Header: []string{"kernel", "config", "class", "count", "mean", "p50", "p90", "p99", "max"}}
 	for _, r := range rows {
+		if r.Failed != "" {
+			t.Add(r.Kernel, r.Config, r.Failed, "-", "-", "-", "-", "-", "-")
+			continue
+		}
 		t.Add(r.Kernel, r.Config, r.Class, fmt.Sprint(r.Count), fmt.Sprintf("%.1f", r.Mean),
 			fmt.Sprint(r.P50), fmt.Sprint(r.P90), fmt.Sprint(r.P99), fmt.Sprint(r.Max))
 	}
@@ -237,7 +312,13 @@ func showArea(cohesion.ExpParams) {
 
 func showSummary(p cohesion.ExpParams) {
 	s, err := cohesion.HeadlineSummary(p)
-	check(err)
+	if err != nil {
+		// The headline geomeans need every cell; without them there is no
+		// partial table to print — note the failure and move on.
+		note(err)
+		fmt.Println("== Headline summary unavailable: a sweep cell failed ==")
+		return
+	}
 	fmt.Printf("== Headline: message reduction (HWcc-ideal/Cohesion, geomean) = %.2fx; directory utilization reduction (aggregate) = %.2fx ==\n",
 		s.MessageReduction, s.DirectoryReduction)
 }

@@ -14,14 +14,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"cohesion/internal/pool"
+	"cohesion/internal/simerr"
 	"cohesion/internal/stress"
 	"cohesion/internal/trace"
 )
@@ -98,6 +104,11 @@ func main() {
 		cov = trace.NewCoverage() // marks are atomic: shared across workers
 	}
 
+	// SIGINT/SIGTERM cancel in-flight simulations cooperatively; the batch
+	// stops at the next chunk boundary with a partial summary (exit 130).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	// Iterations are fully independent (each derives its own seeds), so they
 	// fan out across worker goroutines in index-ordered chunks. Failure
 	// handling stays deterministic: within a chunk every iteration runs to
@@ -111,6 +122,14 @@ func main() {
 	nworkers := pool.Workers(*parallel)
 	chunk := 4 * nworkers
 	var totalChecks, totalCycles uint64
+	clean, contained, done := 0, 0, 0
+	exit := func(code int) {
+		writeMemProfile()
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(code)
+	}
 	for lo := 0; lo < *iters; lo += chunk {
 		hi := lo + chunk
 		if hi > *iters {
@@ -134,10 +153,15 @@ func main() {
 			if err != nil {
 				fatal("%v", err)
 			}
-			return iterResult{cfg: cfg, prog: p, res: stress.RunProgramOpts(p, stress.RunOpts{Coverage: cov})}
+			return iterResult{cfg: cfg, prog: p, res: stress.RunProgramOpts(p, stress.RunOpts{Coverage: cov, Ctx: ctx})}
 		})
 		for j, r := range results {
+			if errors.Is(r.res.Err, simerr.ErrCanceled) {
+				continue // interrupted mid-run by the signal: not a verdict
+			}
+			done++
 			if r.res.Err == nil {
+				clean++
 				totalChecks += r.res.Checks
 				totalCycles += r.res.Cycles
 				continue
@@ -153,6 +177,19 @@ func main() {
 					p, res = q, sres
 				}
 			}
+			if errors.Is(res.Err, simerr.ErrRunPanicked) {
+				// Contained panic: the supervisor writes a repro (numbered
+				// after the first, so none is overwritten) and keeps the
+				// batch going — one crashing input should not end a long
+				// fuzz campaign. The process still exits nonzero at the end.
+				contained++
+				path := numberedPath(*out, contained)
+				if err := stress.NewRepro(p, res).Save(path); err != nil {
+					fatal("writing repro: %v", err)
+				}
+				fmt.Printf("panic contained; repro written to %s (category %s)\n", path, category)
+				continue
+			}
 			if err := stress.NewRepro(p, res).Save(*out); err != nil {
 				fatal("writing repro: %v", err)
 			}
@@ -160,18 +197,38 @@ func main() {
 			if *traceOn {
 				writeFailureTrace(p, *traceOut)
 			}
-			writeMemProfile()
-			if *cpuprofile != "" {
-				pprof.StopCPUProfile()
-			}
-			os.Exit(1)
+			exit(1)
 		}
+		if ctx.Err() != nil {
+			fmt.Printf("interrupted after %d of %d programs: %d clean, %d contained panics; %d oracle checks over %d simulated cycles\n",
+				done, *iters, clean, contained, totalChecks, totalCycles)
+			exit(130)
+		}
+	}
+	if contained > 0 {
+		fmt.Printf("%d of %d programs panicked (contained, repros written); %d clean: %d oracle checks over %d simulated cycles\n",
+			contained, *iters, clean, totalChecks, totalCycles)
+		if cov != nil {
+			fmt.Printf("protocol edge coverage: %d/%d\n%s", cov.Covered(), cov.Total(), cov.Report())
+		}
+		exit(1)
 	}
 	fmt.Printf("%d programs clean: %d oracle checks over %d simulated cycles\n",
 		*iters, totalChecks, totalCycles)
 	if cov != nil {
 		fmt.Printf("protocol edge coverage: %d/%d\n%s", cov.Covered(), cov.Total(), cov.Report())
 	}
+}
+
+// numberedPath derives the repro path for the n-th contained panic: the
+// first keeps the configured name, later ones get a -2, -3, ... suffix
+// before the extension.
+func numberedPath(base string, n int) string {
+	if n <= 1 {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + fmt.Sprintf("-%d", n) + ext
 }
 
 // writeFailureTrace re-executes a failing program with a structured trace

@@ -11,13 +11,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"cohesion"
 )
@@ -49,6 +53,10 @@ func main() {
 		watchdog  = flag.Int64("watchdog", 0, "forward-progress window in cycles (0 = default, negative = disabled)")
 		oracleOn  = flag.Bool("oracle", false, "attach the online coherence oracle (fails fast on any protocol invariant violation)")
 
+		timeout   = flag.Duration("timeout", 0, "whole-command wall-clock deadline (0 = none); hitting it cancels the run like SIGINT")
+		maxEvents = flag.Uint64("max-events", 0, "deterministic event budget (0 = none); same seed + budget reproduces the same partial result")
+		maxWall   = flag.Duration("max-wall", 0, "wall-clock run budget (0 = none); non-reproducible stop point")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -76,6 +84,17 @@ func main() {
 				fatal("%v", err)
 			}
 		}()
+	}
+
+	// SIGINT/SIGTERM cancel the simulation cooperatively; the run ends at
+	// the next event-loop check with its partial stats and a diagnostic
+	// snapshot instead of dying mid-protocol.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	cfg := cohesion.ScaledConfig(*clusters)
@@ -124,7 +143,7 @@ func main() {
 	if *edges {
 		cov = cohesion.NewCoverage()
 	}
-	res, err := cohesion.Run(cohesion.RunConfig{
+	res, err := cohesion.RunCtx(ctx, cohesion.RunConfig{
 		Machine:       cfg,
 		Kernel:        *kernel,
 		Scale:         *scale,
@@ -135,9 +154,10 @@ func main() {
 		TraceSink:     sink,
 		Coverage:      cov,
 		Metrics:       *metrics,
+		Limits:        cohesion.RunLimits{MaxEvents: *maxEvents, WallBudget: *maxWall},
 	})
 	if err != nil {
-		fatal("%v", err)
+		exitEarly(res, err, *cpuprofile, *memprofile)
 	}
 	if sink != nil {
 		if err := writeTrace(sink, *traceOut); err != nil {
@@ -239,6 +259,41 @@ func emitJSON(res *cohesion.Result) {
 	if err := enc.Encode(out); err != nil {
 		fatal("%v", err)
 	}
+}
+
+// exitEarly reports a run that did not finish cleanly. Canceled (SIGINT,
+// SIGTERM, -timeout) and budget-exhausted runs are graceful degradations:
+// the partial stats and memory fingerprint are printed before exiting with
+// a distinguishing code (130 for canceled, matching shell convention for
+// SIGINT; 3 for an exhausted budget). Everything else is a plain failure.
+// The error text carries the diagnostic snapshot (unfinished cores, trace
+// ring tail), so it goes to stderr in full.
+func exitEarly(res *cohesion.Result, err error, cpuprofile, memprofile string) {
+	code := 1
+	switch {
+	case errors.Is(err, cohesion.ErrCanceled):
+		code = 130
+	case errors.Is(err, cohesion.ErrBudgetExhausted):
+		code = 3
+	}
+	fmt.Fprintf(os.Stderr, "cohesion-sim: %v\n", err)
+	if res != nil {
+		fmt.Printf("== partial result (run ended early at cycle %d) ==\n", res.Cycles())
+		fmt.Print(res.Stats.String())
+		fmt.Printf("  memory fingerprint %#x\n", res.MemFingerprint)
+	}
+	// os.Exit skips the deferred profile writers; flush them by hand.
+	if cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		if f, ferr := os.Create(memprofile); ferr == nil {
+			runtime.GC()
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+	}
+	os.Exit(code)
 }
 
 func fatal(format string, args ...any) {

@@ -18,6 +18,8 @@
 package cohesion
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"cohesion/internal/addr"
@@ -26,6 +28,7 @@ import (
 	"cohesion/internal/machine"
 	"cohesion/internal/msg"
 	"cohesion/internal/rt"
+	"cohesion/internal/runctl"
 	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
 	"cohesion/internal/trace"
@@ -79,7 +82,29 @@ var (
 	ErrRetryExhausted    = simerr.ErrRetryExhausted
 	ErrProtocolInvariant = simerr.ErrProtocolInvariant
 	ErrConfig            = simerr.ErrConfig
+
+	// ErrCanceled reports a run ended by cooperative cancellation (its
+	// context was canceled, e.g. SIGINT on the CLIs). RunCtx returns a
+	// partial Result alongside it.
+	ErrCanceled = simerr.ErrCanceled
+
+	// ErrBudgetExhausted reports a run ended by a RunLimits budget.
+	// Event and sim-cycle budgets stop deterministically (same seed +
+	// same budget ⇒ bit-identical partial Result); wall-clock and memory
+	// budgets are tagged non-reproducible in the diagnostic.
+	ErrBudgetExhausted = simerr.ErrBudgetExhausted
+
+	// ErrRunPanicked reports a simulation that panicked and was
+	// contained by a supervising layer (an experiment sweep cell, a fuzz
+	// iteration) instead of killing the process.
+	ErrRunPanicked = simerr.ErrRunPanicked
 )
+
+// RunLimits bounds one simulation: deterministic budgets (MaxEvents,
+// MaxCycles) and non-deterministic ones (WallBudget, MemSoftBytes),
+// checked at the event-loop boundary (amortized every CheckEvery events
+// for the non-deterministic set). The zero value imposes nothing.
+type RunLimits = runctl.Limits
 
 // KernelNames lists the eight benchmark kernels (paper §4.1).
 func KernelNames() []string { return kernels.Names() }
@@ -118,8 +143,15 @@ type RunConfig struct {
 	Workers int   // cores running the kernel; 0 = 4 per cluster
 	Verify  bool  // check kernel output against the golden reference
 
-	// MaxCycles bounds the simulation (0 = generous default).
+	// MaxCycles bounds the simulation (0 = generous default). Exceeding
+	// it is a failure (ErrCycleLimit) — it is the runaway guard, not a
+	// budget; use Limits for structured early ends with partial results.
 	MaxCycles uint64
+
+	// Limits are the run-lifecycle budgets (max events, max sim-cycles,
+	// wall clock, memory soft limit). A budget-ended run returns a
+	// partial Result together with an ErrBudgetExhausted error.
+	Limits RunLimits
 
 	// TraceCapacity, when positive, retains the last N protocol events in
 	// Result.Stats.Trace for post-mortem inspection.
@@ -184,6 +216,18 @@ func (r *Result) Cycles() uint64 { return r.Stats.Cycles }
 // Run simulates one kernel on one machine configuration, verifying output
 // and protocol invariants.
 func Run(rc RunConfig) (*Result, error) {
+	return RunCtx(context.Background(), rc)
+}
+
+// RunCtx is Run with cooperative cancellation: the simulation checks ctx
+// at the event-loop boundary and ends early with ErrCanceled when it is
+// canceled. For canceled and budget-ended runs RunCtx returns a non-nil
+// partial Result together with the error: the stats, trace ring, and
+// memory fingerprint reflect the machine at the stop point (the dirty
+// cache state is drained to memory first). When the stop was a
+// deterministic budget (RunLimits.MaxEvents or MaxCycles), that partial
+// Result is bit-identical across runs with the same seed and budget.
+func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 	if rc.Scale < 1 {
 		rc.Scale = 1
 	}
@@ -223,8 +267,22 @@ func Run(rc RunConfig) (*Result, error) {
 			started++
 		}
 	}
-	if err := m.Simulate(rc.MaxCycles); err != nil {
-		return nil, fmt.Errorf("cohesion: %s on %s: %w", rc.Kernel, rc.Machine.Label, err)
+	if err := m.SimulateCtx(ctx, rc.MaxCycles, rc.Limits); err != nil {
+		wrapped := fmt.Errorf("cohesion: %s on %s: %w", rc.Kernel, rc.Machine.Label, err)
+		if errors.Is(err, ErrCanceled) || errors.Is(err, ErrBudgetExhausted) {
+			// Graceful early end: the machine is already shut down; drain
+			// the surviving dirty cache state so the partial fingerprint
+			// covers everything the run computed up to the stop point.
+			m.DrainToMemory()
+			return &Result{
+				Kernel:         rc.Kernel,
+				Mode:           rc.Machine.Mode,
+				Config:         rc.Machine,
+				Stats:          *m.Run,
+				MemFingerprint: m.Store.Fingerprint(),
+			}, wrapped
+		}
+		return nil, wrapped
 	}
 	if err := m.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("cohesion: %s: protocol invariant violated: %w", rc.Kernel, err)

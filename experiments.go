@@ -1,14 +1,17 @@
 package cohesion
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strings"
 
 	"cohesion/internal/addr"
 	"cohesion/internal/config"
 	"cohesion/internal/directory"
 	"cohesion/internal/msg"
 	"cohesion/internal/pool"
+	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
 )
 
@@ -29,6 +32,14 @@ type ExpParams struct {
 	// self-contained, and results are slotted by job index, so the
 	// assembled tables are bit-identical at any setting.
 	Parallel int
+
+	// Ctx, when non-nil, cancels the sweep cooperatively: cells already
+	// running end early with ErrCanceled, cells not yet started fail
+	// fast, and the figure assembles with those cells marked failed.
+	Ctx context.Context
+
+	// Limits bounds every cell of the sweep (see RunLimits).
+	Limits RunLimits
 }
 
 func (p ExpParams) withDefaults() ExpParams {
@@ -94,14 +105,22 @@ func (p ExpParams) cohesionDir4BCfg() MachineConfig {
 	return c.WithDirectory(DirLimited4B, c.DirEntriesPerBank, c.DirAssoc)
 }
 
+func (p ExpParams) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
+}
+
 func (p ExpParams) run(kernel string, cfg MachineConfig) (*Result, error) {
-	return Run(RunConfig{
+	return RunCtx(p.ctx(), RunConfig{
 		Machine: cfg,
 		Kernel:  kernel,
 		Scale:   p.Scale,
 		Seed:    p.Seed,
 		Workers: p.Workers,
 		Verify:  p.Verify,
+		Limits:  p.Limits,
 	})
 }
 
@@ -112,19 +131,125 @@ type runJob struct {
 	cfg    MachineConfig
 }
 
+// CellFailure is one failed simulation of a sweep: which cell, and why.
+type CellFailure struct {
+	Index  int    // job index within the sweep
+	Kernel string // kernel name
+	Config string // configuration label
+	Err    error  // the cell's failure (panics contained as ErrRunPanicked)
+}
+
+// SweepError aggregates every failed cell of a figure sweep. The figure
+// still assembles — failed cells render as failed(<reason>) and every
+// other cell's numbers are bit-identical to a clean run — but the sweep
+// as a whole reports failure so callers exit nonzero. errors.Is matches
+// any cell's error chain (Unwrap []error).
+type SweepError struct {
+	Total int // cells in the sweep
+	Cells []CellFailure
+}
+
+func (e *SweepError) Error() string {
+	// Cell errors already carry their kernel/config prefix (runAll wraps
+	// them), so only the count is added here.
+	s := fmt.Sprintf("%d of %d sweep cells failed; first: %v", len(e.Cells), e.Total, e.Cells[0].Err)
+	for _, c := range e.Cells[1:] {
+		s += "\nalso failed: " + failureTag(c.Err)
+	}
+	return s
+}
+
+// Unwrap exposes every cell failure to errors.Is/errors.As.
+func (e *SweepError) Unwrap() []error {
+	errs := make([]error, len(e.Cells))
+	for i, c := range e.Cells {
+		errs[i] = c.Err
+	}
+	return errs
+}
+
+// orNil converts a typed-nil *SweepError into a genuinely nil error.
+func (e *SweepError) orNil() error {
+	if e == nil {
+		return nil
+	}
+	return e
+}
+
+// cell returns the failure for a job index (nil when that cell passed).
+func (e *SweepError) cell(i int) error {
+	if e == nil {
+		return nil
+	}
+	for _, c := range e.Cells {
+		if c.Index == i {
+			return c.Err
+		}
+	}
+	return nil
+}
+
+// failureTag renders a cell failure as the compact failed(<reason>)
+// marker used in table and CSV cells: the first line of the error,
+// truncated. The kernel/config wrapping prefix is dropped when the error
+// chain carries a structured simerr diagnostic — the row already names
+// the cell, so the tag leads with the failure class instead.
+func failureTag(err error) string {
+	reason := err.Error()
+	if i := strings.IndexByte(reason, '\n'); i >= 0 {
+		reason = reason[:i]
+	}
+	if i := strings.Index(reason, "simerr: "); i > 0 {
+		reason = reason[i:]
+	}
+	if len(reason) > 80 {
+		reason = reason[:77] + "..."
+	}
+	return "failed(" + reason + ")"
+}
+
+// runForTest, when non-nil, replaces p.run for one sweep — the test seam
+// that injects cell failures (including panics) without a real
+// simulation. Nil in production.
+var runForTest func(job runJob, p ExpParams) (*Result, error)
+
 // runAll executes a figure's independent simulations across p.Parallel
 // host goroutines, returning results slotted by job index. The job list
 // fully determines each simulation (configuration, kernel, seed), so the
 // result slice — and everything derived from it — is identical at any
-// parallelism; a failure reports the lowest-index failing job.
-func (p ExpParams) runAll(jobs []runJob) ([]*Result, error) {
-	return pool.MapErr(len(jobs), p.Parallel, func(i int) (*Result, error) {
+// parallelism. Failures degrade gracefully: a failed (or panicked) cell
+// leaves a nil Result in its slot and an entry in the returned
+// SweepError, while every other cell runs to completion — one bad
+// configuration no longer discards an hour-long sweep.
+func (p ExpParams) runAll(jobs []runJob) ([]*Result, *SweepError) {
+	ctx := p.ctx()
+	results, errs := pool.MapCatch(len(jobs), p.Parallel, func(i int) (*Result, error) {
+		if err := ctx.Err(); err != nil {
+			// Canceled mid-sweep: fail remaining cells fast instead of
+			// building and aborting a machine per cell.
+			return nil, fmt.Errorf("%s/%s: %w", jobs[i].kernel, jobs[i].name, simerr.ErrCanceled)
+		}
+		if runForTest != nil {
+			return runForTest(jobs[i], p)
+		}
 		res, err := p.run(jobs[i].kernel, jobs[i].cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", jobs[i].kernel, jobs[i].name, err)
 		}
 		return res, nil
 	})
+	var sw *SweepError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if sw == nil {
+			sw = &SweepError{Total: len(jobs)}
+		}
+		results[i] = nil // partial Results from budget-ended cells don't enter tables
+		sw.Cells = append(sw.Cells, CellFailure{Index: i, Kernel: jobs[i].kernel, Config: jobs[i].name, Err: err})
+	}
+	return results, sw
 }
 
 // MessageBreakdown is one stacked bar of Figures 2 and 8: a kernel's
@@ -136,6 +261,7 @@ type MessageBreakdown struct {
 	Counts   [msg.NumKinds]uint64
 	Total    uint64
 	Relative float64 // Total / SWcc total for the kernel
+	Failed   string  // failed(<reason>) when this cell's run failed; "" otherwise
 }
 
 func breakdownRows(p ExpParams, configs []struct {
@@ -148,31 +274,29 @@ func breakdownRows(p ExpParams, configs []struct {
 			jobs = append(jobs, runJob{kernel: k, name: c.name, cfg: c.cfg})
 		}
 	}
-	results, err := p.runAll(jobs)
-	if err != nil {
-		return nil, err
-	}
+	results, sw := p.runAll(jobs)
 	var out []MessageBreakdown
 	for ki, k := range p.Kernels {
 		var swccTotal uint64
 		for ci, c := range configs {
-			res := results[ki*len(configs)+ci]
-			row := MessageBreakdown{
-				Kernel: k,
-				Config: c.name,
-				Counts: res.Stats.Messages,
-				Total:  res.TotalMessages(),
+			idx := ki*len(configs) + ci
+			row := MessageBreakdown{Kernel: k, Config: c.name}
+			if res := results[idx]; res != nil {
+				row.Counts = res.Stats.Messages
+				row.Total = res.TotalMessages()
+			} else {
+				row.Failed = failureTag(sw.cell(idx))
 			}
 			if ci == 0 {
 				swccTotal = row.Total
 			}
-			if swccTotal > 0 {
+			if swccTotal > 0 && row.Failed == "" {
 				row.Relative = float64(row.Total) / float64(swccTotal)
 			}
 			out = append(out, row)
 		}
 	}
-	return out, nil
+	return out, sw.orNil()
 }
 
 // Fig2 reproduces Figure 2: L2-to-L3 message counts for SWcc and
@@ -210,6 +334,7 @@ type FlushEfficiency struct {
 	Kernel              string
 	L2KB                int
 	UsefulInv, UsefulWB float64
+	Failed              string // failed(<reason>) when this cell's run failed
 }
 
 // Fig3 reproduces Figure 3 by sweeping the L2 size under SWcc. The paper
@@ -226,23 +351,22 @@ func Fig3(p ExpParams) ([]FlushEfficiency, error) {
 			jobs = append(jobs, runJob{kernel: k, name: fmt.Sprintf("L2=%dK", kb), cfg: cfg})
 		}
 	}
-	results, err := p.runAll(jobs)
-	if err != nil {
-		return nil, err
-	}
+	results, sw := p.runAll(jobs)
 	var out []FlushEfficiency
 	for ki, k := range p.Kernels {
 		for kbi, kb := range l2kbs {
-			res := results[ki*len(l2kbs)+kbi]
-			out = append(out, FlushEfficiency{
-				Kernel:    k,
-				L2KB:      kb,
-				UsefulInv: res.Stats.UsefulInvFraction(),
-				UsefulWB:  res.Stats.UsefulWBFraction(),
-			})
+			idx := ki*len(l2kbs) + kbi
+			row := FlushEfficiency{Kernel: k, L2KB: kb}
+			if res := results[idx]; res != nil {
+				row.UsefulInv = res.Stats.UsefulInvFraction()
+				row.UsefulWB = res.Stats.UsefulWBFraction()
+			} else {
+				row.Failed = failureTag(sw.cell(idx))
+			}
+			out = append(out, row)
 		}
 	}
-	return out, nil
+	return out, sw.orNil()
 }
 
 // DirSweepPoint is one point of Figures 9a/9b: run time with a
@@ -253,6 +377,7 @@ type DirSweepPoint struct {
 	EntriesPerBank int // 0 = infinite baseline
 	Cycles         uint64
 	Slowdown       float64
+	Failed         string // failed(<reason>) when this cell's run failed
 }
 
 // Fig9Sweep reproduces Figure 9a (mode HWcc) or 9b (mode Cohesion).
@@ -274,25 +399,33 @@ func Fig9Sweep(p ExpParams, mode Mode) ([]DirSweepPoint, error) {
 			jobs = append(jobs, runJob{kernel: k, name: fmt.Sprint(entries), cfg: cfg})
 		}
 	}
-	results, err := p.runAll(jobs)
-	if err != nil {
-		return nil, err
-	}
+	results, sw := p.runAll(jobs)
 	var out []DirSweepPoint
 	for ki, k := range p.Kernels {
 		ref := results[ki*stride]
-		out = append(out, DirSweepPoint{Kernel: k, EntriesPerBank: 0, Cycles: ref.Cycles(), Slowdown: 1})
+		refRow := DirSweepPoint{Kernel: k, EntriesPerBank: 0, Slowdown: 1}
+		if ref != nil {
+			refRow.Cycles = ref.Cycles()
+		} else {
+			refRow.Failed = failureTag(sw.cell(ki * stride))
+			refRow.Slowdown = 0
+		}
+		out = append(out, refRow)
 		for di, entries := range p.DirSizes {
-			res := results[ki*stride+1+di]
-			out = append(out, DirSweepPoint{
-				Kernel:         k,
-				EntriesPerBank: entries,
-				Cycles:         res.Cycles(),
-				Slowdown:       float64(res.Cycles()) / float64(ref.Cycles()),
-			})
+			idx := ki*stride + 1 + di
+			row := DirSweepPoint{Kernel: k, EntriesPerBank: entries}
+			if res := results[idx]; res != nil {
+				row.Cycles = res.Cycles()
+				if ref != nil {
+					row.Slowdown = float64(res.Cycles()) / float64(ref.Cycles())
+				}
+			} else {
+				row.Failed = failureTag(sw.cell(idx))
+			}
+			out = append(out, row)
 		}
 	}
-	return out, nil
+	return out, sw.orNil()
 }
 
 // OccupancyRow is one bar group of Figure 9c: time-averaged and maximum
@@ -303,6 +436,7 @@ type OccupancyRow struct {
 	MeanCode, MeanHeap, MeanStack float64
 	MeanTotal                     float64
 	MaxTotal                      uint64
+	Failed                        string // failed(<reason>) when this cell's run failed
 }
 
 // Fig9c reproduces Figure 9c for Cohesion and HWcc with unbounded
@@ -322,26 +456,26 @@ func Fig9c(p ExpParams) ([]OccupancyRow, error) {
 			jobs = append(jobs, runJob{kernel: k, name: c.name, cfg: c.cfg})
 		}
 	}
-	results, err := p.runAll(jobs)
-	if err != nil {
-		return nil, err
-	}
+	results, sw := p.runAll(jobs)
 	var out []OccupancyRow
 	for ki, k := range p.Kernels {
 		for ci, c := range configs {
-			o := &results[ki*len(configs)+ci].Stats.Occupancy
-			out = append(out, OccupancyRow{
-				Kernel:    k,
-				Config:    c.name,
-				MeanCode:  o.MeanClass(addr.ClassCode),
-				MeanHeap:  o.MeanClass(addr.ClassHeapGlobal),
-				MeanStack: o.MeanClass(addr.ClassStack),
-				MeanTotal: o.MeanTotal(),
-				MaxTotal:  o.MaxTotal(),
-			})
+			idx := ki*len(configs) + ci
+			row := OccupancyRow{Kernel: k, Config: c.name}
+			if res := results[idx]; res != nil {
+				o := &res.Stats.Occupancy
+				row.MeanCode = o.MeanClass(addr.ClassCode)
+				row.MeanHeap = o.MeanClass(addr.ClassHeapGlobal)
+				row.MeanStack = o.MeanClass(addr.ClassStack)
+				row.MeanTotal = o.MeanTotal()
+				row.MaxTotal = o.MaxTotal()
+			} else {
+				row.Failed = failureTag(sw.cell(idx))
+			}
+			out = append(out, row)
 		}
 	}
-	return out, nil
+	return out, sw.orNil()
 }
 
 // RuntimeRow is one bar of Figure 10: run time under one configuration,
@@ -350,6 +484,7 @@ type RuntimeRow struct {
 	Kernel, Config string
 	Cycles         uint64
 	Normalized     float64
+	Failed         string // failed(<reason>) when this cell's run failed
 }
 
 // Fig10 reproduces Figure 10: relative run time for Cohesion (full-map),
@@ -374,24 +509,28 @@ func Fig10(p ExpParams) ([]RuntimeRow, error) {
 			jobs = append(jobs, runJob{kernel: k, name: c.name, cfg: c.cfg})
 		}
 	}
-	results, err := p.runAll(jobs)
-	if err != nil {
-		return nil, err
-	}
+	results, sw := p.runAll(jobs)
 	var out []RuntimeRow
 	for ki, k := range p.Kernels {
-		base := results[ki*len(configs)].Cycles()
+		var base uint64
+		if ref := results[ki*len(configs)]; ref != nil {
+			base = ref.Cycles()
+		}
 		for ci, c := range configs {
-			res := results[ki*len(configs)+ci]
-			out = append(out, RuntimeRow{
-				Kernel:     k,
-				Config:     c.name,
-				Cycles:     res.Cycles(),
-				Normalized: float64(res.Cycles()) / float64(base),
-			})
+			idx := ki*len(configs) + ci
+			row := RuntimeRow{Kernel: k, Config: c.name}
+			if res := results[idx]; res != nil {
+				row.Cycles = res.Cycles()
+				if base > 0 {
+					row.Normalized = float64(res.Cycles()) / float64(base)
+				}
+			} else {
+				row.Failed = failureTag(sw.cell(idx))
+			}
+			out = append(out, row)
 		}
 	}
-	return out, nil
+	return out, sw.orNil()
 }
 
 // MsgLatencyRow is one row of the message-latency table: the
@@ -402,6 +541,7 @@ type MsgLatencyRow struct {
 	Count                 uint64
 	Mean                  float64
 	P50, P90, P99, Max    uint64
+	Failed                string // failed(<reason>) when this cell's run failed
 }
 
 // LatencyTable runs each kernel under SWcc, realistic HWcc, and Cohesion
@@ -423,8 +563,12 @@ func LatencyTable(p ExpParams) ([]MsgLatencyRow, error) {
 			jobs = append(jobs, runJob{kernel: k, name: c.name, cfg: c.cfg})
 		}
 	}
-	results, err := pool.MapErr(len(jobs), p.Parallel, func(i int) (*Result, error) {
-		res, err := Run(RunConfig{
+	ctx := p.ctx()
+	results, errs := pool.MapCatch(len(jobs), p.Parallel, func(i int) (*Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", jobs[i].kernel, jobs[i].name, simerr.ErrCanceled)
+		}
+		res, err := RunCtx(ctx, RunConfig{
 			Machine: jobs[i].cfg,
 			Kernel:  jobs[i].kernel,
 			Scale:   p.Scale,
@@ -432,17 +576,24 @@ func LatencyTable(p ExpParams) ([]MsgLatencyRow, error) {
 			Workers: p.Workers,
 			Verify:  p.Verify,
 			Metrics: true,
+			Limits:  p.Limits,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", jobs[i].kernel, jobs[i].name, err)
 		}
 		return res, nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	var sw *SweepError
 	var out []MsgLatencyRow
 	for ji, job := range jobs {
+		if errs[ji] != nil {
+			if sw == nil {
+				sw = &SweepError{Total: len(jobs)}
+			}
+			sw.Cells = append(sw.Cells, CellFailure{Index: ji, Kernel: job.kernel, Config: job.name, Err: errs[ji]})
+			out = append(out, MsgLatencyRow{Kernel: job.kernel, Config: job.name, Failed: failureTag(errs[ji])})
+			continue
+		}
 		m := results[ji].Stats.Metrics
 		for _, k := range msg.Kinds() {
 			h := &m.MsgLatency[k]
@@ -463,7 +614,7 @@ func LatencyTable(p ExpParams) ([]MsgLatencyRow, error) {
 			})
 		}
 	}
-	return out, nil
+	return out, sw.orNil()
 }
 
 // AreaEstimates reproduces the §4.4 directory-area accounting for the
@@ -544,6 +695,14 @@ func BreakdownTable(rows []MessageBreakdown) *stats.Table {
 		t.Header = append(t.Header, k.String())
 	}
 	for _, r := range rows {
+		if r.Failed != "" {
+			cells := []string{r.Kernel, r.Config, r.Failed, "-"}
+			for range msg.Kinds() {
+				cells = append(cells, "-")
+			}
+			t.Add(cells...)
+			continue
+		}
 		cells := []string{r.Kernel, r.Config, fmt.Sprint(r.Total), fmt.Sprintf("%.2f", r.Relative)}
 		for _, k := range msg.Kinds() {
 			cells = append(cells, fmt.Sprint(r.Counts[k]))

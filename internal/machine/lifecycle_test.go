@@ -1,0 +1,116 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/cluster"
+	"cohesion/internal/runctl"
+	"cohesion/internal/simerr"
+)
+
+// startSpinners loads a machine with cores that never finish, so only a
+// lifecycle stop (cancellation, budget) can end the run.
+func startSpinners(m *Machine, cores int) {
+	for core := 0; core < cores; core++ {
+		a := addr.HeapBase + addr.Addr(core*addr.LineBytes)
+		m.StartProgram(core, func(c *cluster.Core) {
+			for {
+				ld(c, a)
+				st(c, a, 1)
+			}
+		})
+	}
+}
+
+// TestNoGoroutineLeakOnCanceledRun cancels runs at the event-loop boundary
+// and asserts every program goroutine is joined — cancellation must flow
+// through the same Shutdown path as a completed run, or a harness that
+// cancels thousands of simulations leaks a goroutine per started core.
+func TestNoGoroutineLeakOnCanceledRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for iter := 0; iter < 3; iter++ {
+		m := newMachine(t, hwccCfg(2))
+		startSpinners(m, 8)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // canceled before the first event: stops at the first check
+		err := m.SimulateCtx(ctx, 1_000_000, runctl.Limits{CheckEvery: 16})
+		if !errors.Is(err, simerr.ErrCanceled) {
+			t.Fatalf("iter %d: SimulateCtx = %v, want ErrCanceled", iter, err)
+		}
+	}
+	goroutinesSettleTo(t, base)
+}
+
+// TestNoGoroutineLeakOnBudgetExhausted ends runs at several event budgets
+// — including one so small the cores are still warming up — and asserts
+// the abort path joins every goroutine each time.
+func TestNoGoroutineLeakOnBudgetExhausted(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for _, budget := range []uint64{1, 500, 5_000, 50_000} {
+		m := newMachine(t, hwccCfg(2))
+		startSpinners(m, 8)
+		err := m.SimulateCtx(context.Background(), 10_000_000, runctl.Limits{MaxEvents: budget})
+		if !errors.Is(err, simerr.ErrBudgetExhausted) {
+			t.Fatalf("budget %d: SimulateCtx = %v, want ErrBudgetExhausted", budget, err)
+		}
+		if fired := m.Q.Fired(); fired != budget {
+			t.Fatalf("budget %d: stopped after %d events, want exactly the budget", budget, fired)
+		}
+	}
+	goroutinesSettleTo(t, base)
+}
+
+// TestCycleBudgetStopsRun exercises the deterministic sim-cycle budget:
+// the run must end with ErrBudgetExhausted (not the runaway guard) and
+// record the stop cycle in the stats.
+func TestCycleBudgetStopsRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	m := newMachine(t, hwccCfg(1))
+	startSpinners(m, 4)
+	err := m.SimulateCtx(context.Background(), 10_000_000, runctl.Limits{MaxCycles: 3_000})
+	if !errors.Is(err, simerr.ErrBudgetExhausted) {
+		t.Fatalf("SimulateCtx = %v, want ErrBudgetExhausted", err)
+	}
+	if errors.Is(err, ErrCycleLimit) {
+		t.Fatal("cycle budget must not report the ErrCycleLimit runaway guard")
+	}
+	if m.Run.Cycles == 0 || m.Run.Cycles > 4_000 {
+		t.Fatalf("stats cycle %d not near the 3000-cycle budget", m.Run.Cycles)
+	}
+	goroutinesSettleTo(t, base)
+}
+
+// TestBudgetStopIsDeterministic runs the same spinners under the same
+// event budget twice and asserts the stop cycle and event count agree —
+// the machine-level half of the reproducible-partial-results contract.
+func TestBudgetStopIsDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		m := newMachine(t, hwccCfg(2))
+		startSpinners(m, 8)
+		err := m.SimulateCtx(context.Background(), 10_000_000, runctl.Limits{MaxEvents: 9_999})
+		if !errors.Is(err, simerr.ErrBudgetExhausted) {
+			t.Fatalf("SimulateCtx = %v, want ErrBudgetExhausted", err)
+		}
+		return m.Run.Cycles, m.Q.Fired()
+	}
+	c1, f1 := run()
+	c2, f2 := run()
+	if c1 != c2 || f1 != f2 {
+		t.Fatalf("budget stop diverged: run1 (cycle %d, %d events), run2 (cycle %d, %d events)", c1, f1, c2, f2)
+	}
+}
+
+// TestSimulateCtxCleanRunUnaffected checks the no-limits fast path: a
+// SimulateCtx call with a background context and zero limits must behave
+// exactly like Simulate, including a nil lifecycle controller.
+func TestSimulateCtxCleanRunUnaffected(t *testing.T) {
+	m := newMachine(t, hwccCfg(1))
+	program(m, 0, func(c *cluster.Core) { st(c, addr.HeapBase, 7) })
+	if err := m.SimulateCtx(context.Background(), 0, runctl.Limits{}); err != nil {
+		t.Fatalf("SimulateCtx = %v, want clean run", err)
+	}
+}

@@ -6,6 +6,7 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"cohesion/internal/msg"
 	"cohesion/internal/oracle"
 	"cohesion/internal/region"
+	"cohesion/internal/runctl"
 	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
 	"cohesion/internal/trace"
@@ -48,6 +50,12 @@ type Machine struct {
 	started      int
 	lastDone     event.Cycle // cycle when the final core's program completed
 	lastProgress uint64      // watchdog: Run.ForwardProgress at the last check
+
+	// stop, once set, ends the event loop after the current event: the
+	// watchdog records its deadlock diagnostic here instead of panicking
+	// through the event stack, and SimulateCtx returns it. The loop's
+	// only steady-state cost is one nil compare per event.
+	stop *simerr.Error
 }
 
 // New builds a machine from a validated configuration.
@@ -223,7 +231,23 @@ const defaultWatchdogCycles = 4_000_000
 // stuck-transaction reports), ErrRetryExhausted (an L2 gave up), or
 // ErrProtocolInvariant (protocol code panicked with a diagnostic, which is
 // recovered here and returned as an error).
-func (m *Machine) Simulate(maxCycles uint64) (err error) {
+func (m *Machine) Simulate(maxCycles uint64) error {
+	return m.SimulateCtx(context.Background(), maxCycles, runctl.Limits{})
+}
+
+// SimulateCtx is Simulate with a run-lifecycle layer: cooperative
+// cancellation through ctx and the resource budgets in lim, both checked
+// at the event-loop boundary. Deterministic budgets (max events, max
+// sim-cycles) are evaluated every event so a budget-stopped run ends at
+// an exact, reproducible point; cancellation, wall-clock, and memory
+// checks are amortized (lim.CheckEvery) so an unbudgeted run pays only a
+// nil compare per event. Cancellation and budget ends return a
+// *simerr.Error wrapping simerr.ErrCanceled or simerr.ErrBudgetExhausted
+// whose detail carries the same stuck-style snapshot a deadlock gets
+// (outstanding transactions, trace ring); the machine is shut down, its
+// partial Run stats and memory image remain readable, and non-
+// deterministic stops are tagged non-reproducible in the diagnostic.
+func (m *Machine) SimulateCtx(ctx context.Context, maxCycles uint64, lim runctl.Limits) (err error) {
 	// Registered first so it runs after the recover defer below has
 	// settled err: an abnormal end leaves program goroutines blocked in
 	// Do, and Shutdown releases and joins them before Simulate returns.
@@ -250,6 +274,7 @@ func (m *Machine) Simulate(maxCycles uint64) (err error) {
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
 	}
+	ctl := runctl.New(ctx, lim)
 	if m.hasDirectory() {
 		m.scheduleSample()
 	}
@@ -262,6 +287,14 @@ func (m *Machine) Simulate(maxCycles uint64) (err error) {
 		m.scheduleWatchdog(window)
 	}
 	for m.Q.Step() {
+		if m.stop != nil {
+			return m.stop // watchdog-detected deadlock
+		}
+		if ctl != nil {
+			if s := ctl.Check(m.Q.Fired(), uint64(m.Q.Now())); s != nil {
+				return m.abortError(s)
+			}
+		}
 		// The limit guards against runaway runs; housekeeping stragglers
 		// (the last watchdog or sampler event after completion) are benign.
 		if uint64(m.Q.Now()) > maxCycles && m.outstandingWork() {
@@ -314,7 +347,11 @@ func (m *Machine) outstandingWork() bool {
 // operations (spin-waiting pollers count as "progress" but heal
 // nothing). A window with no completed operation at all catches stalls
 // that never issued a transaction. Either way the run fails with a
-// diagnostic naming the stuck transactions rather than hanging.
+// diagnostic naming the stuck transactions rather than hanging: the
+// diagnostic is captured eagerly (so its snapshot reflects the cycle the
+// watchdog fired) and reported through the same stop path cancellation
+// uses — the event loop returns it after this event, with no panic
+// unwinding through the event stack.
 func (m *Machine) scheduleWatchdog(window event.Cycle) {
 	m.Q.After(window, func() {
 		if !m.outstandingWork() {
@@ -323,23 +360,26 @@ func (m *Machine) scheduleWatchdog(window event.Cycle) {
 		now := m.Q.Now()
 		for _, cl := range m.Clusters {
 			if age, line, ok := cl.OldestTxn(now); ok && age > window {
-				panic(m.deadlockError(fmt.Sprintf(
+				m.stop = m.deadlockError(fmt.Sprintf(
 					"cl%d transaction for line %#x outstanding %d cycles (watchdog window %d)",
-					cl.ID, uint64(line.Base()), age, window)))
+					cl.ID, uint64(line.Base()), age, window))
+				return
 			}
 		}
 		if m.Run.ForwardProgress == m.lastProgress {
-			panic(m.deadlockError(fmt.Sprintf("no forward progress for %d cycles", window)))
+			m.stop = m.deadlockError(fmt.Sprintf("no forward progress for %d cycles", window))
+			return
 		}
 		m.lastProgress = m.Run.ForwardProgress
 		m.scheduleWatchdog(window)
 	})
 }
 
-// deadlockError builds the structured deadlock diagnostic: which clusters
-// and home banks hold unfinished transactions (line, kind, age, directory
-// state), plus the protocol trace ring when tracing is enabled.
-func (m *Machine) deadlockError(reason string) *simerr.Error {
+// diagnostic builds the stuck-style snapshot shared by every early end:
+// which clusters and home banks hold unfinished transactions (line,
+// kind, age, directory state), plus the protocol trace ring when tracing
+// is enabled.
+func (m *Machine) diagnostic(reason string) string {
 	now := m.Q.Now()
 	var lines []string
 	for _, cl := range m.Clusters {
@@ -358,7 +398,21 @@ func (m *Machine) deadlockError(reason string) *simerr.Error {
 			detail += "\n--- protocol trace (most recent last) ---\n" + dump
 		}
 	}
-	return simerr.New(simerr.ErrDeadlock, uint64(now), "machine", 0, "%s", detail)
+	return detail
+}
+
+// deadlockError builds the structured deadlock diagnostic.
+func (m *Machine) deadlockError(reason string) *simerr.Error {
+	return simerr.New(simerr.ErrDeadlock, uint64(m.Q.Now()), "machine", 0, "%s", m.diagnostic(reason))
+}
+
+// abortError ends a run on a lifecycle stop (cancellation or budget):
+// the same stuck-style snapshot a deadlock gets, wrapped in the stop's
+// sentinel. Partial run stats stay readable: Cycles is set to the stop
+// cycle so callers snapshotting m.Run see how far the run got.
+func (m *Machine) abortError(s *runctl.Stop) *simerr.Error {
+	m.Run.Cycles = uint64(m.Q.Now())
+	return simerr.New(s.Sentinel, uint64(m.Q.Now()), "machine", 0, "%s", m.diagnostic(s.Reason))
 }
 
 // EnableTrace retains the last capacity protocol events (home-side request

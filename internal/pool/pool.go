@@ -9,9 +9,13 @@
 package pool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"cohesion/internal/simerr"
 )
 
 // Workers resolves a requested parallelism: n >= 1 is taken as-is, and
@@ -109,4 +113,43 @@ func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		}
 	}
 	return out, nil
+}
+
+// PanicError is one job's contained panic: the recovered value, the
+// panicking goroutine's stack, and the job index. It matches
+// errors.Is(err, simerr.ErrRunPanicked), so supervising layers dispatch
+// on it like any other structured run failure.
+type PanicError struct {
+	Index int    // job index that panicked
+	Value any    // recovered panic value
+	Stack []byte // stack of the panicking goroutine at recover time
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%v: job %d panicked: %v\n%s", simerr.ErrRunPanicked, e.Index, e.Value, e.Stack)
+}
+
+func (e *PanicError) Unwrap() error { return simerr.ErrRunPanicked }
+
+// MapCatch is MapErr with panic containment and per-job failure
+// reporting: every job runs to completion, a panicking job is recovered
+// into a *PanicError in its own slot instead of crashing the sweep, and
+// both slices come back slotted by index — errs[i] non-nil means out[i]
+// is the zero value and the rest of the sweep is untouched. Because
+// failures are slotted (not raced), the caller's view is deterministic
+// at any worker count: same jobs ⇒ same errs, including which job is
+// reported first by layers that canonicalize on the lowest index.
+func MapCatch[T any](n, workers int, fn func(i int) (T, error)) ([]T, []error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	Do(n, workers, func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				var zero T
+				out[i], errs[i] = zero, &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		out[i], errs[i] = fn(i)
+	})
+	return out, errs
 }

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"cohesion/internal/simerr"
 )
 
 func TestMapSlotsByIndex(t *testing.T) {
@@ -84,6 +86,45 @@ func TestPanicPropagatesLowestIndex(t *testing.T) {
 		}
 	})
 	t.Fatal("Do did not re-panic")
+}
+
+func TestMapCatchContainsPanics(t *testing.T) {
+	errPlain := errors.New("plain failure")
+	for _, workers := range []int{1, 4} {
+		out, errs := MapCatch(10, workers, func(i int) (int, error) {
+			switch i {
+			case 3:
+				panic("boom-3")
+			case 6:
+				return 0, errPlain
+			}
+			return i * 10, nil
+		})
+		for i := 0; i < 10; i++ {
+			switch i {
+			case 3:
+				var pe *PanicError
+				if !errors.As(errs[3], &pe) {
+					t.Fatalf("workers=%d: errs[3] = %v, want *PanicError", workers, errs[3])
+				}
+				if pe.Index != 3 || pe.Value != "boom-3" || len(pe.Stack) == 0 {
+					t.Fatalf("workers=%d: PanicError missing context: %+v", workers, pe)
+				}
+				if !errors.Is(errs[3], simerr.ErrRunPanicked) {
+					t.Fatalf("workers=%d: contained panic does not match ErrRunPanicked", workers)
+				}
+			case 6:
+				if !errors.Is(errs[6], errPlain) {
+					t.Fatalf("workers=%d: errs[6] = %v, want plain error", workers, errs[6])
+				}
+			default:
+				if errs[i] != nil || out[i] != i*10 {
+					t.Fatalf("workers=%d: slot %d perturbed by contained failures: out=%d errs=%v",
+						workers, i, out[i], errs[i])
+				}
+			}
+		}
+	}
 }
 
 func TestZeroJobs(t *testing.T) {

@@ -1,0 +1,179 @@
+// Package runctl is the run-lifecycle layer: cooperative cancellation
+// and resource budgets for individual simulations. A Controller sits in
+// the machine's event loop and decides, once per event, whether the run
+// may continue. The checks are split by cost and determinism:
+//
+//   - Deterministic budgets (max events, max sim-cycles) are a pair of
+//     integer compares evaluated on every event, so a run stopped by one
+//     ends at an exact, reproducible point in the event sequence — same
+//     seed + same budget ⇒ bit-identical partial machine state.
+//   - Non-deterministic checks (context cancellation, wall-clock
+//     deadline, memory soft limit) are amortized: they run once every
+//     CheckEvery events, so the 10 ns/event engine never pays a syscall
+//     or an atomic load per event. Their stop points depend on host
+//     timing and are tagged non-reproducible in the diagnostics.
+//
+// When nothing is configured — background context, zero Limits — New
+// returns nil and the event loop's only cost is one nil compare.
+package runctl
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"cohesion/internal/simerr"
+)
+
+// DefaultCheckEvery is the amortization interval for the
+// non-deterministic checks (context, wall clock, memory): at typical
+// engine speeds ~40 µs of wall time between checks.
+const DefaultCheckEvery = 4096
+
+// memEveryChecks spaces the runtime.ReadMemStats samples (it is far more
+// expensive than a time.Now call): once every this many amortized
+// checks, i.e. every CheckEvery * memEveryChecks events.
+const memEveryChecks = 64
+
+// Limits bounds one run. The zero value imposes nothing.
+type Limits struct {
+	// MaxEvents ends the run after exactly this many executed events
+	// (deterministic). 0 = unlimited.
+	MaxEvents uint64
+
+	// MaxCycles ends the run after the first event past this simulated
+	// cycle (deterministic). 0 = unlimited. Distinct from the machine's
+	// runaway cycle guard: exhausting this budget is a structured
+	// ErrBudgetExhausted end with partial results, not a failure.
+	MaxCycles uint64
+
+	// WallBudget ends the run after this much host wall-clock time
+	// (non-deterministic, checked every CheckEvery events). 0 = none.
+	WallBudget time.Duration
+
+	// MemSoftBytes ends the run when the Go heap (runtime.ReadMemStats
+	// HeapAlloc) exceeds this many bytes (non-deterministic, sampled
+	// sparsely). 0 = none.
+	MemSoftBytes uint64
+
+	// CheckEvery overrides the amortization interval for the
+	// non-deterministic checks. 0 = DefaultCheckEvery.
+	CheckEvery uint64
+}
+
+// active reports whether any budget is set.
+func (l Limits) active() bool {
+	return l.MaxEvents != 0 || l.MaxCycles != 0 || l.WallBudget != 0 || l.MemSoftBytes != 0
+}
+
+// Stop is a controller's verdict that the run must end.
+type Stop struct {
+	// Sentinel is simerr.ErrCanceled or simerr.ErrBudgetExhausted.
+	Sentinel error
+	// Reason is the human-readable trigger, e.g. "event budget (50000
+	// events) exhausted".
+	Reason string
+	// Deterministic is true when the stop point is a pure function of
+	// the event sequence (event/cycle budgets) and false when it depends
+	// on host timing (cancellation, wall clock, memory). Callers tag
+	// non-deterministic partial results as non-reproducible.
+	Deterministic bool
+}
+
+// Controller enforces a context and Limits over one run. It is owned by
+// a single goroutine (the event loop); none of its state is shared.
+type Controller struct {
+	ctx      context.Context
+	lim      Limits
+	deadline time.Time // zero when WallBudget is unset
+
+	every     uint64 // amortization interval
+	countdown uint64 // events until the next amortized check
+	memIn     int    // amortized checks until the next ReadMemStats
+}
+
+// New builds a controller, or returns nil when there is nothing to
+// enforce (context can never be canceled and no limit is set) so the
+// event loop can skip the per-event call entirely.
+func New(ctx context.Context, lim Limits) *Controller {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() == nil && !lim.active() {
+		return nil
+	}
+	every := lim.CheckEvery
+	if every == 0 {
+		every = DefaultCheckEvery
+	}
+	c := &Controller{
+		ctx:       ctx,
+		lim:       lim,
+		every:     every,
+		countdown: every,
+		memIn:     memEveryChecks,
+	}
+	if lim.WallBudget > 0 {
+		c.deadline = time.Now().Add(lim.WallBudget)
+	}
+	return c
+}
+
+// Check is called after every executed event with the cumulative event
+// count and current simulated cycle. It returns nil while the run may
+// continue, or the Stop that ends it. Deterministic budgets are
+// evaluated on every call; the rest only when the amortization counter
+// expires.
+func (c *Controller) Check(fired, cycle uint64) *Stop {
+	if c.lim.MaxEvents != 0 && fired >= c.lim.MaxEvents {
+		return &Stop{
+			Sentinel:      simerr.ErrBudgetExhausted,
+			Reason:        fmt.Sprintf("event budget (%d events) exhausted", c.lim.MaxEvents),
+			Deterministic: true,
+		}
+	}
+	if c.lim.MaxCycles != 0 && cycle > c.lim.MaxCycles {
+		return &Stop{
+			Sentinel:      simerr.ErrBudgetExhausted,
+			Reason:        fmt.Sprintf("sim-cycle budget (%d cycles) exhausted at cycle %d", c.lim.MaxCycles, cycle),
+			Deterministic: true,
+		}
+	}
+	if c.countdown--; c.countdown > 0 {
+		return nil
+	}
+	c.countdown = c.every
+	return c.checkSlow()
+}
+
+// checkSlow runs the amortized, non-deterministic checks.
+func (c *Controller) checkSlow() *Stop {
+	if err := c.ctx.Err(); err != nil {
+		return &Stop{
+			Sentinel: simerr.ErrCanceled,
+			Reason:   fmt.Sprintf("context canceled (%v) [non-reproducible stop point]", err),
+		}
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return &Stop{
+			Sentinel: simerr.ErrBudgetExhausted,
+			Reason:   fmt.Sprintf("wall-clock budget (%v) exhausted [non-reproducible stop point]", c.lim.WallBudget),
+		}
+	}
+	if c.lim.MemSoftBytes != 0 {
+		if c.memIn--; c.memIn <= 0 {
+			c.memIn = memEveryChecks
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > c.lim.MemSoftBytes {
+				return &Stop{
+					Sentinel: simerr.ErrBudgetExhausted,
+					Reason: fmt.Sprintf("memory soft limit (%d MB) exceeded: heap %d MB [non-reproducible stop point]",
+						c.lim.MemSoftBytes>>20, ms.HeapAlloc>>20),
+				}
+			}
+		}
+	}
+	return nil
+}

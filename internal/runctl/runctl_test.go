@@ -1,0 +1,104 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cohesion/internal/simerr"
+)
+
+func TestNewReturnsNilWhenNothingToEnforce(t *testing.T) {
+	if c := New(context.Background(), Limits{}); c != nil {
+		t.Fatal("New(Background, zero Limits) must be nil so the event loop skips the hook")
+	}
+	if c := New(nil, Limits{}); c != nil {
+		t.Fatal("New(nil, zero Limits) must be nil")
+	}
+	if c := New(context.Background(), Limits{MaxEvents: 1}); c == nil {
+		t.Fatal("a set budget must produce a controller")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if c := New(ctx, Limits{}); c == nil {
+		t.Fatal("a cancelable context must produce a controller")
+	}
+}
+
+func TestEventBudgetStopsExactlyAtBudget(t *testing.T) {
+	c := New(context.Background(), Limits{MaxEvents: 10})
+	for fired := uint64(1); fired < 10; fired++ {
+		if s := c.Check(fired, fired); s != nil {
+			t.Fatalf("stopped early at event %d: %+v", fired, s)
+		}
+	}
+	s := c.Check(10, 10)
+	if s == nil {
+		t.Fatal("event budget did not stop the run")
+	}
+	if !errors.Is(s.Sentinel, simerr.ErrBudgetExhausted) || !s.Deterministic {
+		t.Fatalf("stop = %+v, want deterministic ErrBudgetExhausted", s)
+	}
+}
+
+func TestCycleBudgetStopsPastBudget(t *testing.T) {
+	c := New(context.Background(), Limits{MaxCycles: 100})
+	if s := c.Check(1, 100); s != nil {
+		t.Fatalf("stopped at the budget cycle itself: %+v", s)
+	}
+	s := c.Check(2, 101)
+	if s == nil || !s.Deterministic || !errors.Is(s.Sentinel, simerr.ErrBudgetExhausted) {
+		t.Fatalf("stop = %+v, want deterministic ErrBudgetExhausted past cycle 100", s)
+	}
+}
+
+func TestCancellationIsAmortized(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the run even starts
+	c := New(ctx, Limits{CheckEvery: 8})
+	fired := uint64(0)
+	// The first 7 checks are within the amortization window: no stop yet
+	// even though the context is long dead.
+	for i := 0; i < 7; i++ {
+		fired++
+		if s := c.Check(fired, fired); s != nil {
+			t.Fatalf("canceled context observed inside the amortization window (event %d)", fired)
+		}
+	}
+	fired++
+	s := c.Check(fired, fired)
+	if s == nil || !errors.Is(s.Sentinel, simerr.ErrCanceled) {
+		t.Fatalf("stop = %+v, want ErrCanceled at the amortization boundary", s)
+	}
+	if s.Deterministic {
+		t.Fatal("cancellation must be tagged non-deterministic")
+	}
+}
+
+func TestWallBudgetStops(t *testing.T) {
+	c := New(context.Background(), Limits{WallBudget: time.Nanosecond, CheckEvery: 1})
+	time.Sleep(time.Millisecond)
+	s := c.Check(1, 1)
+	if s == nil || !errors.Is(s.Sentinel, simerr.ErrBudgetExhausted) {
+		t.Fatalf("stop = %+v, want ErrBudgetExhausted from the wall budget", s)
+	}
+	if s.Deterministic {
+		t.Fatal("wall-clock stops must be tagged non-deterministic")
+	}
+}
+
+func TestMemSoftLimitStops(t *testing.T) {
+	// 1 byte soft limit: any live heap trips it. The memory check is the
+	// sparsest of all (every CheckEvery*memEveryChecks events).
+	c := New(context.Background(), Limits{MemSoftBytes: 1, CheckEvery: 1})
+	var s *Stop
+	for fired := uint64(1); fired <= memEveryChecks+1; fired++ {
+		if s = c.Check(fired, fired); s != nil {
+			break
+		}
+	}
+	if s == nil || !errors.Is(s.Sentinel, simerr.ErrBudgetExhausted) {
+		t.Fatalf("stop = %+v, want ErrBudgetExhausted from the memory soft limit", s)
+	}
+}

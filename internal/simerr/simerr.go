@@ -35,6 +35,25 @@ var (
 
 	// ErrConfig reports a rejected machine configuration.
 	ErrConfig = errors.New("simerr: invalid configuration")
+
+	// ErrCanceled reports a run ended early by cooperative cancellation:
+	// its context was canceled (SIGINT/SIGTERM on the CLIs, a parent
+	// sweep shutting down). The machine state at the stop point depends
+	// on wall-clock timing, so canceled runs are not reproducible.
+	ErrCanceled = errors.New("simerr: run canceled")
+
+	// ErrBudgetExhausted reports a run ended early by a resource budget
+	// (max events, max sim-cycles, wall-clock deadline, or memory soft
+	// limit). Event and sim-cycle budgets stop at a deterministic point
+	// in the event sequence, so two runs with the same seed and budget
+	// leave bit-identical partial state; wall-clock and memory budgets
+	// are non-reproducible and their diagnostics say so.
+	ErrBudgetExhausted = errors.New("simerr: budget exhausted")
+
+	// ErrRunPanicked reports a simulation that panicked with a foreign
+	// (non-simerr) value and was contained by a supervising layer (the
+	// experiment pool, the fuzz batch) instead of killing the process.
+	ErrRunPanicked = errors.New("simerr: run panicked")
 )
 
 // Error is a structured simulator diagnostic. It wraps one of the
@@ -94,4 +113,12 @@ func Config(format string, args ...any) *Error {
 func FromPanic(v any) (*Error, bool) {
 	e, ok := v.(*Error)
 	return e, ok
+}
+
+// Panicked builds a contained-panic diagnostic from a recovered foreign
+// panic value and its goroutine stack. Supervising layers that must not
+// die with one run (the fuzz batch, stress replay) use it to turn a
+// crash into an ordinary ErrRunPanicked error.
+func Panicked(v any, stack []byte) *Error {
+	return New(ErrRunPanicked, 0, "", 0, "panic: %v\n%s", v, stack)
 }

@@ -1,0 +1,77 @@
+package stress
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cohesion/internal/runctl"
+	"cohesion/internal/simerr"
+)
+
+// TestRunProgramPanicContained feeds RunProgramOpts a program whose core
+// count exceeds the machine — StartProgram panics inside the run — and
+// asserts the supervisor converts the panic into a classified result
+// instead of crashing the process, so a fuzz batch can write a repro for
+// the crashing input and keep going.
+func TestRunProgramPanicContained(t *testing.T) {
+	p := Program{Cfg: Config{Seed: 1, Mode: "hwcc"}}
+	p.Cores = make([]coreOps, 4096) // far more cores than any fuzz machine
+	res := RunProgramOpts(p, RunOpts{})
+	if res.Err == nil {
+		t.Fatal("oversized program ran clean; expected a contained panic")
+	}
+	if !errors.Is(res.Err, simerr.ErrRunPanicked) {
+		t.Fatalf("res.Err = %v, want ErrRunPanicked", res.Err)
+	}
+	if SentinelOf(res.Err) != "panic" {
+		t.Fatalf("SentinelOf = %q, want panic", SentinelOf(res.Err))
+	}
+	// The classification must be stable enough for Replay/Shrink matching.
+	if CategoryOf(res.Err) != CategoryOf(res.Err) || CategoryOf(res.Err) == "" {
+		t.Fatalf("CategoryOf unstable or empty: %q", CategoryOf(res.Err))
+	}
+}
+
+// TestRunProgramCanceled cancels a stress run up front and checks the
+// cooperative-cancellation path classifies as "canceled".
+func TestRunProgramCanceled(t *testing.T) {
+	cfg := Config{Seed: 7, Mode: "hwcc"}
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := RunProgramOpts(p, RunOpts{Ctx: ctx, Limits: runctl.Limits{CheckEvery: 1}})
+	if !errors.Is(res.Err, simerr.ErrCanceled) {
+		t.Fatalf("res.Err = %v, want ErrCanceled", res.Err)
+	}
+	if SentinelOf(res.Err) != "canceled" {
+		t.Fatalf("SentinelOf = %q, want canceled", SentinelOf(res.Err))
+	}
+}
+
+// TestRunProgramEventBudget ends a stress run on a deterministic event
+// budget twice and checks the partial stop is reproducible and classified
+// as "budget".
+func TestRunProgramEventBudget(t *testing.T) {
+	cfg := Config{Seed: 11, Mode: "cohesion"}
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() Result {
+		return RunProgramOpts(p, RunOpts{Limits: runctl.Limits{MaxEvents: 2_000}})
+	}
+	a, b := run(), run()
+	if !errors.Is(a.Err, simerr.ErrBudgetExhausted) {
+		t.Fatalf("a.Err = %v, want ErrBudgetExhausted", a.Err)
+	}
+	if SentinelOf(a.Err) != "budget" {
+		t.Fatalf("SentinelOf = %q, want budget", SentinelOf(a.Err))
+	}
+	if a.Cycles != b.Cycles {
+		t.Fatalf("budget stop not reproducible: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}

@@ -43,6 +43,12 @@ func SentinelOf(err error) string {
 		return "cycle-limit"
 	case errors.Is(err, simerr.ErrConfig):
 		return "config"
+	case errors.Is(err, simerr.ErrRunPanicked):
+		return "panic"
+	case errors.Is(err, simerr.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, simerr.ErrBudgetExhausted):
+		return "budget"
 	}
 	return "other"
 }

@@ -1,12 +1,17 @@
 package stress
 
 import (
+	"context"
+	"runtime/debug"
+
 	"cohesion/internal/addr"
 	"cohesion/internal/cluster"
 	"cohesion/internal/config"
 	"cohesion/internal/machine"
 	"cohesion/internal/msg"
 	"cohesion/internal/region"
+	"cohesion/internal/runctl"
+	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
 	"cohesion/internal/trace"
 )
@@ -63,7 +68,8 @@ type Result struct {
 	Trace       []stats.TraceEntry
 }
 
-// RunOpts attaches observability consumers to a stress run.
+// RunOpts attaches observability consumers and lifecycle controls to a
+// stress run.
 type RunOpts struct {
 	// Coverage, when non-nil, records which protocol-transition edges the
 	// run exercised (shared trackers aggregate across a batch).
@@ -72,14 +78,30 @@ type RunOpts struct {
 	Sink *trace.Sink
 	// Metrics enables the sim-time histogram registry.
 	Metrics bool
+	// Ctx, when non-nil, cancels the run cooperatively at the event-loop
+	// boundary (the run ends with simerr.ErrCanceled).
+	Ctx context.Context
+	// Limits bounds the run (max events / sim-cycles deterministically,
+	// wall clock and memory best-effort); the run ends with
+	// simerr.ErrBudgetExhausted when one trips.
+	Limits runctl.Limits
 }
 
 // RunProgram executes a stress program to completion or first failure
 // (oracle violation, deadlock, retry exhaustion, quiescence invariant).
 func RunProgram(p Program) Result { return RunProgramOpts(p, RunOpts{}) }
 
-// RunProgramOpts is RunProgram with observability consumers attached.
-func RunProgramOpts(p Program, opts RunOpts) Result {
+// RunProgramOpts is RunProgram with observability consumers and lifecycle
+// controls attached. A panic anywhere inside the simulation is contained:
+// it comes back as a Result whose Err matches simerr.ErrRunPanicked (with
+// the stack in the error text), so a fuzz batch survives a crashing input
+// and can write a repro for it instead of killing the process.
+func RunProgramOpts(p Program, opts RunOpts) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = simerr.Panicked(r, debug.Stack())
+		}
+	}()
 	cfg := p.Cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return Result{Err: err}
@@ -111,8 +133,11 @@ func RunProgramOpts(p Program, opts RunOpts) Result {
 			}
 		})
 	}
-	var res Result
-	err = m.Simulate(maxCycles)
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	err = m.SimulateCtx(ctx, maxCycles, opts.Limits)
 	if err == nil {
 		err = m.CheckInvariants()
 	}

@@ -12,6 +12,15 @@ import (
 
 func csvJoin(cells []string) string { return strings.Join(cells, ",") }
 
+// csvFailure renders a row's Failed marker for the trailing "failed" CSV
+// column, quoting it so embedded commas in the reason stay one field.
+func csvFailure(failed string) string {
+	if failed == "" {
+		return ""
+	}
+	return `"` + strings.ReplaceAll(failed, `"`, `""`) + `"`
+}
+
 // BreakdownCSV renders Figure 2/8 rows.
 func BreakdownCSV(rows []MessageBreakdown) string {
 	var b strings.Builder
@@ -19,12 +28,14 @@ func BreakdownCSV(rows []MessageBreakdown) string {
 	for _, k := range msg.Kinds() {
 		head = append(head, strings.ReplaceAll(strings.ToLower(k.String()), " ", "_"))
 	}
+	head = append(head, "failed")
 	b.WriteString(csvJoin(head) + "\n")
 	for _, r := range rows {
 		cells := []string{r.Kernel, r.Config, fmt.Sprint(r.Total), fmt.Sprintf("%.4f", r.Relative)}
 		for _, k := range msg.Kinds() {
 			cells = append(cells, fmt.Sprint(r.Counts[k]))
 		}
+		cells = append(cells, csvFailure(r.Failed))
 		b.WriteString(csvJoin(cells) + "\n")
 	}
 	return b.String()
@@ -33,9 +44,9 @@ func BreakdownCSV(rows []MessageBreakdown) string {
 // FlushEfficiencyCSV renders Figure 3 rows.
 func FlushEfficiencyCSV(rows []FlushEfficiency) string {
 	var b strings.Builder
-	b.WriteString("kernel,l2_kb,useful_inv,useful_wb\n")
+	b.WriteString("kernel,l2_kb,useful_inv,useful_wb,failed\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%d,%.4f,%.4f\n", r.Kernel, r.L2KB, r.UsefulInv, r.UsefulWB)
+		fmt.Fprintf(&b, "%s,%d,%.4f,%.4f,%s\n", r.Kernel, r.L2KB, r.UsefulInv, r.UsefulWB, csvFailure(r.Failed))
 	}
 	return b.String()
 }
@@ -43,9 +54,9 @@ func FlushEfficiencyCSV(rows []FlushEfficiency) string {
 // DirSweepCSV renders Figure 9a/9b points (entries 0 = infinite baseline).
 func DirSweepCSV(rows []DirSweepPoint) string {
 	var b strings.Builder
-	b.WriteString("kernel,entries_per_bank,cycles,slowdown\n")
+	b.WriteString("kernel,entries_per_bank,cycles,slowdown,failed\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%d,%d,%.4f\n", r.Kernel, r.EntriesPerBank, r.Cycles, r.Slowdown)
+		fmt.Fprintf(&b, "%s,%d,%d,%.4f,%s\n", r.Kernel, r.EntriesPerBank, r.Cycles, r.Slowdown, csvFailure(r.Failed))
 	}
 	return b.String()
 }
@@ -53,10 +64,10 @@ func DirSweepCSV(rows []DirSweepPoint) string {
 // OccupancyCSV renders Figure 9c rows.
 func OccupancyCSV(rows []OccupancyRow) string {
 	var b strings.Builder
-	b.WriteString("kernel,config,mean_total,mean_code,mean_heap_global,mean_stack,max_total\n")
+	b.WriteString("kernel,config,mean_total,mean_code,mean_heap_global,mean_stack,max_total,failed\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%s,%.2f,%.2f,%.2f,%.2f,%d\n",
-			r.Kernel, r.Config, r.MeanTotal, r.MeanCode, r.MeanHeap, r.MeanStack, r.MaxTotal)
+		fmt.Fprintf(&b, "%s,%s,%.2f,%.2f,%.2f,%.2f,%d,%s\n",
+			r.Kernel, r.Config, r.MeanTotal, r.MeanCode, r.MeanHeap, r.MeanStack, r.MaxTotal, csvFailure(r.Failed))
 	}
 	return b.String()
 }
@@ -64,10 +75,10 @@ func OccupancyCSV(rows []OccupancyRow) string {
 // LatencyCSV renders message-latency table rows.
 func LatencyCSV(rows []MsgLatencyRow) string {
 	var b strings.Builder
-	b.WriteString("kernel,config,class,count,mean,p50,p90,p99,max\n")
+	b.WriteString("kernel,config,class,count,mean,p50,p90,p99,max,failed\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%s,%s,%d,%.2f,%d,%d,%d,%d\n",
-			r.Kernel, r.Config, r.Class, r.Count, r.Mean, r.P50, r.P90, r.P99, r.Max)
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%.2f,%d,%d,%d,%d,%s\n",
+			r.Kernel, r.Config, r.Class, r.Count, r.Mean, r.P50, r.P90, r.P99, r.Max, csvFailure(r.Failed))
 	}
 	return b.String()
 }
@@ -75,9 +86,9 @@ func LatencyCSV(rows []MsgLatencyRow) string {
 // RuntimeCSV renders Figure 10 rows.
 func RuntimeCSV(rows []RuntimeRow) string {
 	var b strings.Builder
-	b.WriteString("kernel,config,cycles,normalized\n")
+	b.WriteString("kernel,config,cycles,normalized,failed\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%s,%d,%.4f\n", r.Kernel, r.Config, r.Cycles, r.Normalized)
+		fmt.Fprintf(&b, "%s,%s,%d,%.4f,%s\n", r.Kernel, r.Config, r.Cycles, r.Normalized, csvFailure(r.Failed))
 	}
 	return b.String()
 }
