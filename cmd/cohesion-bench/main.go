@@ -21,11 +21,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"reflect"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
@@ -116,6 +119,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the in-flight simulation cooperatively, like
+	// the other commands; the process exits 130 (shell SIGINT convention).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	rep := Report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -139,9 +147,9 @@ func main() {
 	}
 	for _, kernel := range kernelList {
 		for _, mode := range []cohesion.Mode{cohesion.SWcc, cohesion.HWcc, cohesion.Cohesion} {
-			sb, err := benchSim(kernel, mode, scale, *seed)
+			sb, err := benchSim(ctx, kernel, mode, scale, *seed)
 			if err != nil {
-				fatal("%s/%v: %v", kernel, mode, err)
+				failRun(fmt.Sprintf("%s/%v", kernel, mode), err)
 			}
 			rep.Simulations = append(rep.Simulations, sb)
 			fmt.Printf("  %-8s %-8v %9.0f events/s  (%d events, %.2fs wall, %.2f allocs/event)\n",
@@ -150,18 +158,18 @@ func main() {
 	}
 
 	fmt.Println("== metrics sample: one instrumented run ==")
-	ms, err := benchMetricsSample(kernelList[0], *seed, scale)
+	ms, err := benchMetricsSample(ctx, kernelList[0], *seed, scale)
 	if err != nil {
-		fatal("metrics sample: %v", err)
+		failRun("metrics sample", err)
 	}
 	rep.MetricsSample = ms
 	fmt.Printf("  %s/%s: %d message classes with latency histograms\n",
 		ms.Kernel, ms.Mode, len(ms.Metrics.MsgLatency))
 
 	fmt.Println("== run lifecycle: cancellation-hook overhead (armed, never trips) ==")
-	lb, err := benchLifecycle(kernelList[0], *seed, scale)
+	lb, err := benchLifecycle(ctx, kernelList[0], *seed, scale)
 	if err != nil {
-		fatal("lifecycle: %v", err)
+		failRun("lifecycle", err)
 	}
 	rep.Lifecycle = lb
 	fmt.Printf("  %s/%s: bare %.1f ns/event, with limits %.1f ns/event -> %+.1f%% overhead, fingerprints match: %v\n",
@@ -171,9 +179,9 @@ func main() {
 	}
 
 	fmt.Println("== experiment fan-out: Figure 9a sweep, serial vs parallel ==")
-	fb, err := benchFanout(*short, *parallel, *seed)
+	fb, err := benchFanout(ctx, *short, *parallel, *seed)
 	if err != nil {
-		fatal("fanout: %v", err)
+		failRun("fanout", err)
 	}
 	rep.Fanout = fb
 	fmt.Printf("  %d points: serial %.2fs, parallel(%d) %.2fs -> %.2fx speedup, tables identical: %v\n",
@@ -222,13 +230,13 @@ func benchEventEngine() EventEngineBench {
 // heap allocations per event (runtime.MemStats mallocs delta over the run,
 // which includes machine construction — the steady-state floor is the
 // event-engine figure above).
-func benchSim(kernel string, mode cohesion.Mode, scale int, seed int64) (SimBench, error) {
+func benchSim(ctx context.Context, kernel string, mode cohesion.Mode, scale int, seed int64) (SimBench, error) {
 	cfg := cohesion.ScaledConfig(4).WithMode(mode)
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	res, err := cohesion.Run(cohesion.RunConfig{
+	res, err := cohesion.RunCtx(ctx, cohesion.RunConfig{
 		Machine: cfg,
 		Kernel:  kernel,
 		Scale:   scale,
@@ -256,9 +264,9 @@ func benchSim(kernel string, mode cohesion.Mode, scale int, seed int64) (SimBenc
 
 // benchMetricsSample runs one kernel with the metrics registry attached and
 // returns its exported digest.
-func benchMetricsSample(kernel string, seed int64, scale int) (*MetricsSampleBench, error) {
+func benchMetricsSample(ctx context.Context, kernel string, seed int64, scale int) (*MetricsSampleBench, error) {
 	cfg := cohesion.ScaledConfig(4).WithMode(cohesion.Cohesion)
-	res, err := cohesion.Run(cohesion.RunConfig{
+	res, err := cohesion.RunCtx(ctx, cohesion.RunConfig{
 		Machine: cfg,
 		Kernel:  kernel,
 		Scale:   scale,
@@ -281,11 +289,9 @@ func benchMetricsSample(kernel string, seed int64, scale int) (*MetricsSampleBen
 // and reports the per-event cost delta plus whether the two runs computed
 // the same memory image. Budget compares run every event and the context
 // poll is amortized, so the target is ~0% overhead.
-func benchLifecycle(kernel string, seed int64, scale int) (LifecycleBench, error) {
+func benchLifecycle(ctx context.Context, kernel string, seed int64, scale int) (LifecycleBench, error) {
 	cfg := cohesion.ScaledConfig(4).WithMode(cohesion.Cohesion)
 	rc := cohesion.RunConfig{Machine: cfg, Kernel: kernel, Scale: scale, Seed: seed}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 
 	// Interleave the two variants and keep each one's fastest pass: a
 	// single run here is ~0.1s, small enough that GC pauses and machine
@@ -296,7 +302,7 @@ func benchLifecycle(kernel string, seed int64, scale int) (LifecycleBench, error
 	for i := 0; i < passes; i++ {
 		rc.Limits = cohesion.RunLimits{}
 		start := time.Now()
-		bare, err := cohesion.Run(rc)
+		bare, err := cohesion.RunCtx(ctx, rc)
 		bareWall := time.Since(start)
 		if err != nil {
 			return LifecycleBench{}, err
@@ -331,8 +337,8 @@ func benchLifecycle(kernel string, seed int64, scale int) (LifecycleBench, error
 // benchFanout times the Figure 9a directory sweep serially and with one
 // worker per CPU, and checks the assembled tables are identical — the
 // determinism contract of the parallel harness.
-func benchFanout(short bool, parallel int, seed int64) (FanoutBench, error) {
-	p := cohesion.ExpParams{Clusters: 4, Workers: 8, Scale: 2, Seed: seed}
+func benchFanout(ctx context.Context, short bool, parallel int, seed int64) (FanoutBench, error) {
+	p := cohesion.ExpParams{Clusters: 4, Workers: 8, Scale: 2, Seed: seed, Ctx: ctx}
 	if short {
 		p.Kernels = cohesion.KernelNames()[:2]
 		p.Scale = 1
@@ -368,6 +374,17 @@ func benchFanout(short bool, parallel int, seed int64) (FanoutBench, error) {
 		Speedup:         serialWall.Seconds() / parWall.Seconds(),
 		TablesIdentical: reflect.DeepEqual(serial, par),
 	}, nil
+}
+
+// failRun reports a benchmark-section failure. An interrupt (SIGINT,
+// SIGTERM) is a cooperative cancellation, not a benchmark failure: the
+// process exits 130 like the other commands.
+func failRun(section string, err error) {
+	if errors.Is(err, cohesion.ErrCanceled) {
+		fmt.Fprintf(os.Stderr, "cohesion-bench: %s: interrupted\n", section)
+		os.Exit(130)
+	}
+	fatal("%s: %v", section, err)
 }
 
 func fatal(format string, args ...any) {

@@ -54,6 +54,8 @@ func run() int {
 		timeout    = flag.Duration("timeout", 0, "whole-command wall-clock deadline (0 = none); hitting it cancels remaining runs")
 		maxEvents  = flag.Uint64("max-events", 0, "per-run deterministic event budget (0 = none); budget-ended cells render as failed(...)")
 		maxWall    = flag.Duration("max-wall", 0, "per-run wall-clock budget (0 = none); non-reproducible stop point")
+		checkpoint = flag.String("checkpoint", "", "record completed sweep cells to this file (atomic per-cell writes) so an interrupted sweep can resume")
+		resume     = flag.Bool("resume", false, "serve cells already recorded in -checkpoint from the cache and run only the rest")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -95,6 +97,21 @@ func run() int {
 	}
 	if *kernels != "" {
 		p.Kernels = strings.Split(*kernels, ",")
+	}
+	if *resume && *checkpoint == "" {
+		check(fmt.Errorf("-resume needs -checkpoint"))
+	}
+	if *checkpoint != "" {
+		ck, err := cohesion.OpenSweepCheckpoint(*checkpoint, p, *resume)
+		check(err)
+		if n := ck.Cells(); n > 0 {
+			fmt.Fprintf(os.Stderr, "cohesion-experiments: resuming with %d completed cells from %s\n", n, ck.Path())
+		}
+		p.Checkpoint = ck
+		defer func() {
+			fmt.Fprintf(os.Stderr, "cohesion-experiments: checkpoint %s holds %d cells (%d served from cache this run)\n",
+				ck.Path(), ck.Cells(), ck.Reused())
+		}()
 	}
 
 	figures := map[string]func(cohesion.ExpParams){

@@ -11,6 +11,9 @@
 //	cohesion-fuzz -mode cohesion -corrupt           # planted corruption must be caught
 //	cohesion-fuzz -replay repro.json                # re-run a saved failure
 //	cohesion-fuzz -replay repro.json -shrink=false  # replay without shrinking
+//	cohesion-fuzz -iters 500 -checkpoint fuzz.ckpt  # interruptible batch
+//	cohesion-fuzz -iters 500 -checkpoint fuzz.ckpt -resume
+//	cohesion-fuzz -checkpoint-stress 3              # verify checkpoint/restore determinism
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 
 	"cohesion/internal/pool"
 	"cohesion/internal/simerr"
+	"cohesion/internal/snapshot"
 	"cohesion/internal/stress"
 	"cohesion/internal/trace"
 )
@@ -53,6 +57,10 @@ func main() {
 		shrink    = flag.Bool("shrink", true, "shrink a failing program before writing the repro")
 		maxShrink = flag.Int("max-shrink-runs", 500, "re-execution budget for shrinking")
 		parallel  = flag.Int("parallel", 0, "worker goroutines for fuzz iterations (0 = one per CPU, 1 = serial)")
+
+		checkpoint = flag.String("checkpoint", "", "persist batch progress (counters, coverage) to this file at each chunk boundary, crash-safely")
+		resume     = flag.Bool("resume", false, "resume the batch recorded in -checkpoint, skipping completed iterations")
+		ckptStress = flag.Int("checkpoint-stress", 0, "instead of fuzzing, verify checkpoint/restore determinism: per program, replay-and-verify at N random event counts (0 = off)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -130,25 +138,87 @@ func main() {
 		}
 		os.Exit(code)
 	}
-	for lo := 0; lo < *iters; lo += chunk {
+	cfgAt := func(i int) stress.Config {
+		return stress.Config{
+			Seed:              *seed + int64(i)*1_000_003,
+			Mode:              modes[i%len(modes)],
+			Clusters:          *clusters,
+			Lines:             *lines,
+			OpsPerCore:        *ops,
+			WorkersPerCluster: *workers,
+			Faults:            *faults,
+			FaultSeed:         *faultSeed + int64(i),
+			InjectCorrupt:     *corrupt,
+			TraceRing:         *traceN,
+		}
+	}
+
+	if *ckptStress > 0 {
+		// Checkpoint-stress mode: instead of hunting protocol bugs, each
+		// program is killed-and-restored (replay + digest verification) at
+		// N random event counts, and every restore must be bit-identical.
+		for i := 0; i < *iters; i++ {
+			if ctx.Err() != nil {
+				fmt.Printf("interrupted after %d of %d checkpoint-stress programs\n", i, *iters)
+				exit(130)
+			}
+			cfg := cfgAt(i)
+			p, err := stress.Generate(cfg)
+			if err != nil {
+				fatal("%v", err)
+			}
+			rep, err := stress.CheckpointStress(p, *ckptStress, cfg.Seed)
+			if err != nil {
+				fmt.Printf("iter %d (seed %d, mode %s) checkpoint-stress FAILED:\n  %v\n", i, cfg.Seed, cfg.Mode, err)
+				exit(1)
+			}
+			fmt.Printf("iter %d (seed %d, mode %s): %d/%d depths bit-identical over %d events\n",
+				i, cfg.Seed, cfg.Mode, rep.Verified, len(rep.Depths), rep.BaseEvents)
+		}
+		fmt.Printf("%d programs: checkpoint/restore verified at every probed depth\n", *iters)
+		exit(0)
+	}
+
+	// Batch checkpointing: progress is persisted at chunk boundaries, so a
+	// killed campaign resumes at its last completed chunk with counters,
+	// coverage, and repro numbering intact.
+	spec := fuzzSpec{
+		Seed: *seed, Modes: strings.Join(modes, ","), Clusters: *clusters,
+		Lines: *lines, Ops: *ops, Workers: *workers, Faults: *faults,
+		FaultSeed: *faultSeed, Corrupt: *corrupt, TraceRing: *traceN,
+	}
+	start := 0
+	if *checkpoint != "" && *resume {
+		var st fuzzState
+		_, src, err := snapshot.LoadRecover(*checkpoint, snapshot.KindFuzz, &st)
+		switch {
+		case err == nil:
+			if st.Spec != spec {
+				fatal("checkpoint %s was written by a different fuzz campaign (flags differ); delete it or rerun without -resume", src)
+			}
+			start, done, clean, contained = st.NextIter, st.Done, st.Clean, st.Contained
+			totalChecks, totalCycles = st.TotalChecks, st.TotalCycles
+			if cov != nil && len(st.Coverage) > 0 {
+				if unknown := cov.MergeNamed(st.Coverage); len(unknown) > 0 {
+					fmt.Fprintf(os.Stderr, "cohesion-fuzz: checkpoint names %d edges not in this build's catalog: %s\n",
+						len(unknown), strings.Join(unknown, ", "))
+				}
+			}
+			fmt.Fprintf(os.Stderr, "cohesion-fuzz: resuming at iteration %d from %s\n", start, src)
+		case errors.Is(err, os.ErrNotExist):
+			// Nothing recorded yet: a resume of a never-started batch is a
+			// fresh start, so the same command line works for both.
+		default:
+			fatal("%v", err)
+		}
+	}
+	for lo := start; lo < *iters; lo += chunk {
 		hi := lo + chunk
 		if hi > *iters {
 			hi = *iters
 		}
 		results := pool.Map(hi-lo, nworkers, func(j int) iterResult {
-			i := lo + j
-			cfg := stress.Config{
-				Seed:              *seed + int64(i)*1_000_003,
-				Mode:              modes[i%len(modes)],
-				Clusters:          *clusters,
-				Lines:             *lines,
-				OpsPerCore:        *ops,
-				WorkersPerCluster: *workers,
-				Faults:            *faults,
-				FaultSeed:         *faultSeed + int64(i),
-				InjectCorrupt:     *corrupt,
-				TraceRing:         *traceN,
-			}
+			cfg := cfgAt(lo + j)
 			p, err := stress.Generate(cfg)
 			if err != nil {
 				fatal("%v", err)
@@ -200,9 +270,24 @@ func main() {
 			exit(1)
 		}
 		if ctx.Err() != nil {
+			// Canceled iterations in this chunk were skipped, not counted, so
+			// the checkpoint stays at the last fully-completed chunk; a
+			// resume re-runs this chunk from its start.
 			fmt.Printf("interrupted after %d of %d programs: %d clean, %d contained panics; %d oracle checks over %d simulated cycles\n",
 				done, *iters, clean, contained, totalChecks, totalCycles)
 			exit(130)
+		}
+		if *checkpoint != "" {
+			st := fuzzState{
+				Spec: spec, NextIter: hi, Done: done, Clean: clean, Contained: contained,
+				TotalChecks: totalChecks, TotalCycles: totalCycles,
+			}
+			if cov != nil {
+				st.Coverage = cov.CountsByName()
+			}
+			if err := snapshot.WriteAtomic(*checkpoint, snapshot.KindFuzz, uint64(hi), st); err != nil {
+				fatal("%v", err)
+			}
 		}
 	}
 	if contained > 0 {
@@ -218,6 +303,35 @@ func main() {
 	if cov != nil {
 		fmt.Printf("protocol edge coverage: %d/%d\n%s", cov.Covered(), cov.Total(), cov.Report())
 	}
+}
+
+// fuzzSpec pins the flag values that determine iteration outcomes. A
+// resumed batch must run under the identical spec — otherwise its skipped
+// iterations and accumulated counters would describe a different campaign.
+type fuzzSpec struct {
+	Seed      int64  `json:"seed"`
+	Modes     string `json:"modes"`
+	Clusters  int    `json:"clusters"`
+	Lines     int    `json:"lines"`
+	Ops       int    `json:"ops"`
+	Workers   int    `json:"workers"`
+	Faults    bool   `json:"faults"`
+	FaultSeed int64  `json:"fault_seed"`
+	Corrupt   bool   `json:"corrupt"`
+	TraceRing int    `json:"trace_ring"`
+}
+
+// fuzzState is the KindFuzz checkpoint payload: the next iteration to run
+// and everything the batch has accumulated so far.
+type fuzzState struct {
+	Spec        fuzzSpec          `json:"spec"`
+	NextIter    int               `json:"next_iter"`
+	Done        int               `json:"done"`
+	Clean       int               `json:"clean"`
+	Contained   int               `json:"contained"`
+	TotalChecks uint64            `json:"total_checks"`
+	TotalCycles uint64            `json:"total_cycles"`
+	Coverage    map[string]uint64 `json:"coverage,omitempty"`
 }
 
 // numberedPath derives the repro path for the n-th contained panic: the
@@ -253,11 +367,15 @@ func writeFailureTrace(p stress.Program, path string) {
 }
 
 // replayFile re-runs a saved repro, optionally shrinking it further, and
-// returns the process exit code: 0 if the failure reproduced, 1 if not.
+// returns the process exit code: 0 if the failure reproduced, 1 if not,
+// 2 for a malformed or truncated repro file (rejected at load time by
+// schema validation, with the offending field named, instead of letting
+// the replay panic mid-run).
 func replayFile(path string, shrink bool, maxShrink int, out string) int {
 	r, err := stress.LoadRepro(path)
 	if err != nil {
-		fatal("%v", err)
+		fmt.Fprintf(os.Stderr, "cohesion-fuzz: %v\n", err)
+		return 2
 	}
 	res, same := stress.Replay(r)
 	if !same {

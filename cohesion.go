@@ -228,6 +228,26 @@ func Run(rc RunConfig) (*Result, error) {
 // deterministic budget (RunLimits.MaxEvents or MaxCycles), that partial
 // Result is bit-identical across runs with the same seed and budget.
 func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
+	p, err := prepareRun(rc)
+	if err != nil {
+		return nil, err
+	}
+	return p.run(ctx)
+}
+
+// preparedRun is an assembled machine with its kernel spawned, ready to
+// simulate. The checkpoint layer prepares runs separately from executing
+// them so a resume can install its checkpoint callback in between.
+type preparedRun struct {
+	rc   RunConfig
+	m    *machine.Machine
+	r    *rt.Runtime
+	inst *kernels.Instance
+}
+
+// prepareRun assembles the machine, attaches observability, builds the
+// kernel, and spawns the workers — everything up to the first event.
+func prepareRun(rc RunConfig) (*preparedRun, error) {
 	if rc.Scale < 1 {
 		rc.Scale = 1
 	}
@@ -267,6 +287,13 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 			started++
 		}
 	}
+	return &preparedRun{rc: rc, m: m, r: r, inst: inst}, nil
+}
+
+// run simulates a prepared run to its end (quiescence, budget, or
+// cancellation) and packages the Result.
+func (p *preparedRun) run(ctx context.Context) (*Result, error) {
+	rc, m := p.rc, p.m
 	if err := m.SimulateCtx(ctx, rc.MaxCycles, rc.Limits); err != nil {
 		wrapped := fmt.Errorf("cohesion: %s on %s: %w", rc.Kernel, rc.Machine.Label, err)
 		if errors.Is(err, ErrCanceled) || errors.Is(err, ErrBudgetExhausted) {
@@ -274,13 +301,7 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 			// the surviving dirty cache state so the partial fingerprint
 			// covers everything the run computed up to the stop point.
 			m.DrainToMemory()
-			return &Result{
-				Kernel:         rc.Kernel,
-				Mode:           rc.Machine.Mode,
-				Config:         rc.Machine,
-				Stats:          *m.Run,
-				MemFingerprint: m.Store.Fingerprint(),
-			}, wrapped
+			return p.result(), wrapped
 		}
 		return nil, wrapped
 	}
@@ -289,15 +310,19 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 	}
 	m.DrainToMemory()
 	if rc.Verify {
-		if err := inst.Verify(r); err != nil {
+		if err := p.inst.Verify(p.r); err != nil {
 			return nil, fmt.Errorf("cohesion: %w", err)
 		}
 	}
+	return p.result(), nil
+}
+
+func (p *preparedRun) result() *Result {
 	return &Result{
-		Kernel:         rc.Kernel,
-		Mode:           rc.Machine.Mode,
-		Config:         rc.Machine,
-		Stats:          *m.Run,
-		MemFingerprint: m.Store.Fingerprint(),
-	}, nil
+		Kernel:         p.rc.Kernel,
+		Mode:           p.rc.Machine.Mode,
+		Config:         p.rc.Machine,
+		Stats:          *p.m.Run,
+		MemFingerprint: p.m.Store.Fingerprint(),
+	}
 }

@@ -40,6 +40,13 @@ type ExpParams struct {
 
 	// Limits bounds every cell of the sweep (see RunLimits).
 	Limits RunLimits
+
+	// Checkpoint, when non-nil, records every completed cell to disk and
+	// serves already-recorded cells from the cache, so an interrupted or
+	// degraded sweep resumes only its failed/unfinished cells (see
+	// OpenSweepCheckpoint). LatencyTable ignores it: the metrics
+	// histograms it reports are not persisted.
+	Checkpoint *SweepCheckpoint
 }
 
 func (p ExpParams) withDefaults() ExpParams {
@@ -224,17 +231,32 @@ var runForTest func(job runJob, p ExpParams) (*Result, error)
 func (p ExpParams) runAll(jobs []runJob) ([]*Result, *SweepError) {
 	ctx := p.ctx()
 	results, errs := pool.MapCatch(len(jobs), p.Parallel, func(i int) (*Result, error) {
+		if ck := p.Checkpoint; ck != nil {
+			// A cached cell costs nothing to serve, even mid-cancellation:
+			// a re-interrupted resume still fills every cell it can.
+			if res, ok := ck.lookup(jobs[i]); ok {
+				return res, nil
+			}
+		}
 		if err := ctx.Err(); err != nil {
 			// Canceled mid-sweep: fail remaining cells fast instead of
 			// building and aborting a machine per cell.
 			return nil, fmt.Errorf("%s/%s: %w", jobs[i].kernel, jobs[i].name, simerr.ErrCanceled)
 		}
+		var res *Result
+		var err error
 		if runForTest != nil {
-			return runForTest(jobs[i], p)
+			res, err = runForTest(jobs[i], p)
+		} else if res, err = p.run(jobs[i].kernel, jobs[i].cfg); err != nil {
+			err = fmt.Errorf("%s/%s: %w", jobs[i].kernel, jobs[i].name, err)
 		}
-		res, err := p.run(jobs[i].kernel, jobs[i].cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", jobs[i].kernel, jobs[i].name, err)
+			return nil, err
+		}
+		if ck := p.Checkpoint; ck != nil {
+			if cerr := ck.record(jobs[i], res); cerr != nil {
+				return nil, fmt.Errorf("%s/%s: %w", jobs[i].kernel, jobs[i].name, cerr)
+			}
 		}
 		return res, nil
 	})
@@ -546,7 +568,9 @@ type MsgLatencyRow struct {
 
 // LatencyTable runs each kernel under SWcc, realistic HWcc, and Cohesion
 // with the metrics registry attached and reports per-class L2 transaction
-// latency (one row per non-empty message class).
+// latency (one row per non-empty message class). It does not participate
+// in sweep checkpointing (p.Checkpoint is ignored): the histograms it
+// reports are live metrics state, which checkpoints do not persist.
 func LatencyTable(p ExpParams) ([]MsgLatencyRow, error) {
 	p = p.withDefaults()
 	configs := []struct {

@@ -80,6 +80,17 @@ func (s *Store) MergeLine(line addr.Line, mask uint8, data [addr.WordsPerLine]ui
 // LinesTouched reports how many distinct lines have ever been written.
 func (s *Store) LinesTouched() int { return len(s.lines) }
 
+// Lines returns every written line in address order (the checkpoint layer
+// serializes the image line by line).
+func (s *Store) Lines() []addr.Line {
+	lines := make([]addr.Line, 0, len(s.lines))
+	for line := range s.lines {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}
+
 // Fingerprint digests the full memory image (FNV-1a over lines in address
 // order), independent of map iteration order: equal images yield equal
 // fingerprints. Determinism tests use it to compare whole runs cheaply.

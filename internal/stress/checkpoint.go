@@ -1,0 +1,148 @@
+package stress
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"cohesion/internal/machine"
+	"cohesion/internal/snapshot"
+)
+
+// CheckpointReport is the outcome of one CheckpointStress probe: the
+// randomly-drawn checkpoint depths exercised and, on divergence, where
+// and how the replays disagreed.
+type CheckpointReport struct {
+	Depths   []uint64 // executed-event counts probed (sorted)
+	Verified int      // depths whose replay matched the reference bit-for-bit
+
+	Diverged   bool
+	FirstDepth uint64   // depth that exposed the divergence
+	Layers     []string // digest layers (or final-state fields) that differ
+
+	// Base-run witnesses the replays are held to.
+	BaseEvents      uint64
+	BaseCycles      uint64
+	BaseFingerprint uint64
+	BaseChecks      uint64
+	BaseCategory    string // failure category of the base run ("none" if clean)
+}
+
+// CheckpointStress validates the checkpoint/restore determinism contract
+// against one stress program: it runs the program once as the base run,
+// draws n random interior event counts from seed, re-runs the program
+// capturing the full per-layer digest vector at every drawn depth (the
+// reference), and then for each depth runs the program once more as a
+// simulated kill-and-restore — replaying from scratch, verifying the
+// digest vector at the depth, and continuing to the end, where the final
+// cycles, fingerprint, oracle-check count, and failure category must all
+// match the base run. Any mismatch reports snapshot.ErrDiverged with the
+// differing layers named, exactly as a real resume would.
+func CheckpointStress(p Program, n int, seed int64) (*CheckpointReport, error) {
+	if n < 1 {
+		n = 3
+	}
+	base := RunProgramOpts(p, RunOpts{})
+	rep := &CheckpointReport{
+		BaseEvents:      base.Events,
+		BaseCycles:      base.Cycles,
+		BaseFingerprint: base.Fingerprint,
+		BaseChecks:      base.Checks,
+		BaseCategory:    CategoryOf(base.Err),
+	}
+	if base.Events < 4 {
+		return rep, fmt.Errorf("stress: program too short to checkpoint (%d events)", base.Events)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[uint64]bool{}
+	for i := 0; i < 16*n && len(rep.Depths) < n; i++ {
+		d := 1 + uint64(rng.Int63n(int64(base.Events-2)))
+		if !seen[d] {
+			seen[d] = true
+			rep.Depths = append(rep.Depths, d)
+		}
+	}
+	sort.Slice(rep.Depths, func(i, j int) bool { return rep.Depths[i] < rep.Depths[j] })
+
+	// Reference run: capture the digest vector at every drawn depth.
+	refDigests := map[uint64]snapshot.Digests{}
+	ref := RunProgramOpts(p, RunOpts{
+		CheckpointAt: rep.Depths,
+		OnCheckpoint: func(events, _ uint64, m *machine.Machine) error {
+			refDigests[events] = m.Digests()
+			return nil
+		},
+	})
+	if err := rep.compareFinal("reference run", ref); err != nil {
+		return rep, err
+	}
+
+	// One simulated kill-and-restore per depth: replay, verify at the
+	// depth, continue to the end, hold the finals to the base run.
+	for _, d := range rep.Depths {
+		d := d
+		var layers []string
+		fired := false
+		run := RunProgramOpts(p, RunOpts{
+			CheckpointAt: []uint64{d},
+			OnCheckpoint: func(events, _ uint64, m *machine.Machine) error {
+				if events != d {
+					return nil
+				}
+				fired = true
+				want, ok := refDigests[d]
+				if !ok {
+					layers = []string{fmt.Sprintf("events (reference run never checkpointed at %d)", d)}
+					return nil
+				}
+				layers = m.Digests().Diff(want)
+				return nil
+			},
+		})
+		if _, ok := refDigests[d]; ok && !fired {
+			layers = append(layers, fmt.Sprintf("events (replay never checkpointed at %d)", d))
+		}
+		if len(layers) > 0 {
+			rep.Diverged = true
+			rep.FirstDepth = d
+			rep.Layers = layers
+			return rep, fmt.Errorf("%w: replay digests differ at event %d: %s",
+				snapshot.ErrDiverged, d, strings.Join(layers, ", "))
+		}
+		if err := rep.compareFinal(fmt.Sprintf("replay through event %d", d), run); err != nil {
+			rep.FirstDepth = d
+			return rep, err
+		}
+		rep.Verified++
+	}
+	return rep, nil
+}
+
+// compareFinal holds one run's end state to the base run's witnesses.
+func (r *CheckpointReport) compareFinal(label string, got Result) error {
+	var diffs []string
+	if got.Events != r.BaseEvents {
+		diffs = append(diffs, fmt.Sprintf("events (%d vs %d)", got.Events, r.BaseEvents))
+	}
+	if got.Cycles != r.BaseCycles {
+		diffs = append(diffs, fmt.Sprintf("cycles (%d vs %d)", got.Cycles, r.BaseCycles))
+	}
+	if got.Fingerprint != r.BaseFingerprint {
+		diffs = append(diffs, fmt.Sprintf("fingerprint (%#x vs %#x)", got.Fingerprint, r.BaseFingerprint))
+	}
+	if got.Checks != r.BaseChecks {
+		diffs = append(diffs, fmt.Sprintf("oracle checks (%d vs %d)", got.Checks, r.BaseChecks))
+	}
+	if c := CategoryOf(got.Err); c != r.BaseCategory {
+		diffs = append(diffs, fmt.Sprintf("failure category (%s vs %s)", c, r.BaseCategory))
+	}
+	if len(diffs) == 0 {
+		return nil
+	}
+	r.Diverged = true
+	r.Layers = diffs
+	return fmt.Errorf("%w: %s final state differs from the base run: %s",
+		snapshot.ErrDiverged, label, strings.Join(diffs, ", "))
+}

@@ -1,0 +1,120 @@
+package stress
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cohesion/internal/snapshot"
+)
+
+// TestCheckpointStressVerifiesCleanProgram: on a clean deterministic
+// program, every randomly-drawn checkpoint depth must verify — the replay
+// digest vector matches the reference at the depth and the final state
+// matches the base run bit-for-bit.
+func TestCheckpointStressVerifiesCleanProgram(t *testing.T) {
+	p, err := Generate(Config{Seed: 21, Mode: "cohesion", Clusters: 2, OpsPerCore: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckpointStress(p, 4, 11)
+	if err != nil {
+		t.Fatalf("CheckpointStress: %v", err)
+	}
+	if len(rep.Depths) == 0 || rep.Verified != len(rep.Depths) {
+		t.Fatalf("verified %d of %d depths", rep.Verified, len(rep.Depths))
+	}
+	if rep.Diverged {
+		t.Fatalf("clean program reported divergence: %v", rep.Layers)
+	}
+	if rep.BaseCategory != "none" {
+		t.Fatalf("base category = %q, want none", rep.BaseCategory)
+	}
+	for i := 1; i < len(rep.Depths); i++ {
+		if rep.Depths[i] <= rep.Depths[i-1] {
+			t.Fatalf("depths not sorted/unique: %v", rep.Depths)
+		}
+	}
+	// Seeded draws are reproducible: the same probe yields the same depths.
+	rep2, err := CheckpointStress(p, 4, 11)
+	if err != nil {
+		t.Fatalf("second CheckpointStress: %v", err)
+	}
+	if len(rep2.Depths) != len(rep.Depths) {
+		t.Fatalf("same seed drew %v then %v", rep.Depths, rep2.Depths)
+	}
+	for i := range rep.Depths {
+		if rep2.Depths[i] != rep.Depths[i] {
+			t.Fatalf("same seed drew %v then %v", rep.Depths, rep2.Depths)
+		}
+	}
+}
+
+// TestCheckpointStressVerifiesFailingProgram: a program that fails (the
+// planted corruption motif) must still checkpoint deterministically —
+// every replay reproduces the same failure category, cycles, and
+// fingerprint as the base run.
+func TestCheckpointStressVerifiesFailingProgram(t *testing.T) {
+	p, err := Generate(Config{Seed: 5, Mode: "cohesion", InjectCorrupt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckpointStress(p, 3, 7)
+	if err != nil {
+		t.Fatalf("CheckpointStress on failing program: %v", err)
+	}
+	if rep.BaseCategory != "protocol-invariant/corrupt uncached load" {
+		t.Fatalf("base category = %q, want the planted corruption", rep.BaseCategory)
+	}
+	if rep.Verified != len(rep.Depths) || rep.Diverged {
+		t.Fatalf("failing program did not verify: %d/%d depths, diverged=%v %v",
+			rep.Verified, len(rep.Depths), rep.Diverged, rep.Layers)
+	}
+}
+
+// TestCheckpointCompareFinalFlagsEveryLayer exercises the divergence
+// reporting path directly: each perturbed final-state field must be named
+// in the error and wrap snapshot.ErrDiverged.
+func TestCheckpointCompareFinalFlagsEveryLayer(t *testing.T) {
+	base := Result{Events: 100, Cycles: 2000, Fingerprint: 0xabc, Checks: 50}
+	cases := []struct {
+		layer   string
+		perturb func(*Result)
+	}{
+		{"events", func(r *Result) { r.Events++ }},
+		{"cycles", func(r *Result) { r.Cycles++ }},
+		{"fingerprint", func(r *Result) { r.Fingerprint ^= 1 }},
+		{"oracle checks", func(r *Result) { r.Checks++ }},
+		{"failure category", func(r *Result) { r.Err = errors.New("late failure") }},
+	}
+	for _, tc := range cases {
+		rep := &CheckpointReport{
+			BaseEvents:      base.Events,
+			BaseCycles:      base.Cycles,
+			BaseFingerprint: base.Fingerprint,
+			BaseChecks:      base.Checks,
+			BaseCategory:    "none",
+		}
+		got := base
+		tc.perturb(&got)
+		err := rep.compareFinal("replay", got)
+		if err == nil {
+			t.Fatalf("%s: perturbed final state not flagged", tc.layer)
+		}
+		if !errors.Is(err, snapshot.ErrDiverged) {
+			t.Fatalf("%s: error %v does not wrap snapshot.ErrDiverged", tc.layer, err)
+		}
+		if !strings.Contains(err.Error(), tc.layer) {
+			t.Fatalf("%s: error %q does not name the differing layer", tc.layer, err)
+		}
+		if !rep.Diverged || len(rep.Layers) != 1 {
+			t.Fatalf("%s: report not marked diverged with one layer: %+v", tc.layer, rep)
+		}
+	}
+
+	// And the all-match case stays silent.
+	rep := &CheckpointReport{BaseEvents: 100, BaseCycles: 2000, BaseFingerprint: 0xabc, BaseChecks: 50, BaseCategory: "none"}
+	if err := rep.compareFinal("replay", base); err != nil || rep.Diverged {
+		t.Fatalf("identical final state flagged: %v", err)
+	}
+}

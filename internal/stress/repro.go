@@ -7,6 +7,7 @@ import (
 	"os"
 	"strings"
 
+	"cohesion/internal/addr"
 	"cohesion/internal/machine"
 	"cohesion/internal/simerr"
 	"cohesion/internal/stats"
@@ -99,7 +100,9 @@ func (r Repro) Save(path string) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-// LoadRepro reads a repro file back.
+// LoadRepro reads a repro file back, validating its schema and version so
+// a malformed or truncated file is rejected with a named-field error at
+// load time instead of panicking mid-replay.
 func LoadRepro(path string) (Repro, error) {
 	var r Repro
 	b, err := os.ReadFile(path)
@@ -109,10 +112,53 @@ func LoadRepro(path string) (Repro, error) {
 	if err := json.Unmarshal(b, &r); err != nil {
 		return r, fmt.Errorf("stress: bad repro file %s: %w", path, err)
 	}
-	if r.Version != reproVersion {
-		return r, fmt.Errorf("stress: repro version %d, want %d", r.Version, reproVersion)
+	if err := r.Validate(); err != nil {
+		return r, fmt.Errorf("stress: bad repro file %s: %w", path, err)
 	}
 	return r, nil
+}
+
+// validOpKinds is the op-kind whitelist Validate checks schedules against.
+var validOpKinds = map[string]bool{
+	OpLoad: true, OpStore: true, OpAtomic: true, OpUncLoad: true,
+	OpUncStore: true, OpFlush: true, OpInv: true, OpToSW: true,
+	OpToHW: true, OpWork: true, OpCorrupt: true,
+}
+
+// Validate checks a repro's structural invariants — version, config
+// ranges, core count, and every op's kind and operand ranges — naming the
+// offending field in the error. A repro that passes cannot send Replay
+// into an out-of-range access or an unknown-op panic.
+func (r Repro) Validate() error {
+	if r.Version != reproVersion {
+		return fmt.Errorf("version: %d, want %d", r.Version, reproVersion)
+	}
+	cfg := r.Program.Cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("program.cfg: %w", err)
+	}
+	// Shrinking may drop whole cores, so fewer schedules than the machine
+	// has worker slots is fine; more would map onto nonexistent cores.
+	if max := cfg.Clusters * cfg.WorkersPerCluster; len(r.Program.Cores) > max {
+		return fmt.Errorf("program.cores: %d schedules exceed the config's %d worker cores (%d clusters x %d workers)",
+			len(r.Program.Cores), max, cfg.Clusters, cfg.WorkersPerCluster)
+	}
+	for ci, core := range r.Program.Cores {
+		for oi, op := range core.Ops {
+			field := fmt.Sprintf("program.cores[%d].ops[%d]", ci, oi)
+			if !validOpKinds[op.Kind] {
+				return fmt.Errorf("%s.k: unknown op kind %q", field, op.Kind)
+			}
+			// Line index cfg.Lines is the private corruption-motif line.
+			if op.Line < 0 || op.Line > cfg.Lines {
+				return fmt.Errorf("%s.l: line index %d outside [0, %d]", field, op.Line, cfg.Lines)
+			}
+			if op.Word < 0 || op.Word >= addr.WordsPerLine {
+				return fmt.Errorf("%s.w: word index %d outside [0, %d)", field, op.Word, addr.WordsPerLine)
+			}
+		}
+	}
+	return nil
 }
 
 // Replay re-executes a repro's program and reports whether the same

@@ -63,6 +63,7 @@ func BuildMachine(cfg Config) (*machine.Machine, error) {
 type Result struct {
 	Err         error
 	Cycles      uint64
+	Events      uint64 // executed events (set on every path, failures included)
 	Fingerprint uint64
 	Checks      uint64 // oracle invariant evaluations
 	Trace       []stats.TraceEntry
@@ -85,6 +86,12 @@ type RunOpts struct {
 	// wall clock and memory best-effort); the run ends with
 	// simerr.ErrBudgetExhausted when one trips.
 	Limits runctl.Limits
+	// CheckpointAt adds one-shot deterministic checkpoint firing points
+	// (executed-event counts) on top of Limits.CheckpointAt.
+	CheckpointAt []uint64
+	// OnCheckpoint, when non-nil, runs between events at every checkpoint
+	// point with the quiescent machine; returning an error aborts the run.
+	OnCheckpoint func(events, cycle uint64, m *machine.Machine) error
 }
 
 // RunProgram executes a stress program to completion or first failure
@@ -137,7 +144,16 @@ func RunProgramOpts(p Program, opts RunOpts) (res Result) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	err = m.SimulateCtx(ctx, maxCycles, opts.Limits)
+	limits := opts.Limits
+	if len(opts.CheckpointAt) > 0 {
+		limits.CheckpointAt = append(append([]uint64(nil), limits.CheckpointAt...), opts.CheckpointAt...)
+	}
+	if opts.OnCheckpoint != nil {
+		m.SetCheckpointFunc(func(events, cycle uint64) error {
+			return opts.OnCheckpoint(events, cycle, m)
+		})
+	}
+	err = m.SimulateCtx(ctx, maxCycles, limits)
 	if err == nil {
 		err = m.CheckInvariants()
 	}
@@ -148,6 +164,7 @@ func RunProgramOpts(p Program, opts RunOpts) (res Result) {
 	} else {
 		res.Cycles = uint64(m.Q.Now())
 	}
+	res.Events = m.Q.Fired()
 	res.Err = err
 	if m.Run.Trace != nil {
 		res.Trace = m.Run.Trace.Entries()

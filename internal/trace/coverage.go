@@ -239,6 +239,39 @@ func (c *Coverage) Uncovered() []string {
 	return out
 }
 
+// CountsByName exports every fired edge's count keyed by its stable
+// catalog name. Checkpoints persist this map (names survive edge-ID
+// renumbering across versions) and self-checks compare it to prove a
+// resumed run marked the same edges the straight-through run did.
+func (c *Coverage) CountsByName() map[string]uint64 {
+	out := make(map[string]uint64)
+	for i := range c.counts {
+		if n := c.counts[i].Load(); n > 0 {
+			out[EdgeID(i).String()] = n
+		}
+	}
+	return out
+}
+
+// MergeNamed adds previously exported counts back into c. Names no
+// longer in the catalog are returned rather than silently dropped.
+func (c *Coverage) MergeNamed(counts map[string]uint64) (unknown []string) {
+	byName := make(map[string]int, EdgeCount)
+	for i := 0; i < EdgeCount; i++ {
+		byName[EdgeID(i).String()] = i
+	}
+	for name, n := range counts {
+		i, ok := byName[name]
+		if !ok {
+			unknown = append(unknown, name)
+			continue
+		}
+		c.counts[i].Add(n)
+	}
+	sort.Strings(unknown)
+	return unknown
+}
+
 // Merge adds another tracker's counts into c.
 func (c *Coverage) Merge(o *Coverage) {
 	for i := range c.counts {

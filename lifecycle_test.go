@@ -141,6 +141,96 @@ func TestPanickedCellLeavesSweepBitIdentical(t *testing.T) {
 	}
 }
 
+// TestSweepErrorMixedSentinels drives one sweep in which three different
+// cells fail for three different reasons — cancellation, budget
+// exhaustion, and a contained panic — and checks the aggregated
+// *SweepError surfaces every category at once: errors.Is finds each
+// sentinel, Unwrap() []error exposes exactly the failed cells, and the
+// multi-line Error() names every failure.
+func TestSweepErrorMixedSentinels(t *testing.T) {
+	defer func() { runForTest = nil }()
+	runForTest = func(job runJob, _ ExpParams) (*Result, error) {
+		switch {
+		case job.kernel == "heat" && job.name == "SWcc":
+			return nil, fmt.Errorf("%s/%s: %w", job.kernel, job.name,
+				simerr.New(ErrCanceled, 10, "machine", 0, "synthetic cancellation"))
+		case job.kernel == "fft" && job.name == "HWccIdeal":
+			return nil, fmt.Errorf("%s/%s: %w", job.kernel, job.name,
+				simerr.New(ErrBudgetExhausted, 20, "machine", 0, "synthetic budget stop"))
+		case job.kernel == "sobel" && job.name == "HWccReal":
+			panic("mixed-sentinel boom")
+		}
+		return fakeCellResult(job.kernel, job.name), nil
+	}
+
+	p := ExpParams{Kernels: []string{"heat", "fft", "sobel"}, Parallel: 4}
+	rows, err := Fig8(p)
+	if err == nil {
+		t.Fatal("sweep with three failing cells reported success")
+	}
+	var sw *SweepError
+	if !errors.As(err, &sw) {
+		t.Fatalf("sweep error %v is not a *SweepError", err)
+	}
+	if len(sw.Cells) != 3 {
+		t.Fatalf("SweepError has %d cells, want 3: %+v", len(sw.Cells), sw.Cells)
+	}
+	if got := len(sw.Unwrap()); got != 3 {
+		t.Fatalf("Unwrap() returned %d errors, want 3", got)
+	}
+
+	// One errors.Is per category against the single aggregated error: the
+	// multi-error Unwrap must let each sentinel be found independently.
+	for _, tc := range []struct {
+		name     string
+		sentinel error
+	}{
+		{"canceled", ErrCanceled},
+		{"budget", ErrBudgetExhausted},
+		{"panic", ErrRunPanicked},
+	} {
+		if !errors.Is(sw, tc.sentinel) {
+			t.Errorf("errors.Is(sweep, %s sentinel) = false; sweep: %v", tc.name, sw)
+		}
+	}
+
+	// The structured diagnostics survive aggregation too, not just the
+	// sentinels: errors.As digs out a simerr.Error and the pool's
+	// PanicError with its stack.
+	var se *simerr.Error
+	if !errors.As(sw, &se) {
+		t.Fatalf("SweepError lost the structured cell errors")
+	}
+	var pe *pool.PanicError
+	if !errors.As(sw, &pe) || pe.Value != "mixed-sentinel boom" {
+		t.Fatalf("SweepError lost the contained panic: %+v", pe)
+	}
+
+	// Every failed cell is identified by kernel/config in the aggregate,
+	// and the multi-line message names each additional failure.
+	got := map[string]bool{}
+	for _, c := range sw.Cells {
+		got[c.Kernel+"/"+c.Config] = true
+	}
+	for _, want := range []string{"heat/SWcc", "fft/HWccIdeal", "sobel/HWccReal"} {
+		if !got[want] {
+			t.Errorf("SweepError cells %v missing %s", sw.Cells, want)
+		}
+	}
+	if msg := sw.Error(); strings.Count(msg, "\n") != 2 {
+		t.Errorf("SweepError message should carry one line per extra failure:\n%s", msg)
+	}
+	failed := 0
+	for _, r := range rows {
+		if r.Failed != "" {
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("%d rows marked failed, want 3", failed)
+	}
+}
+
 // TestSweepCancellationPropagates cancels a sweep before it starts: every
 // cell must fail fast with ErrCanceled instead of simulating.
 func TestSweepCancellationPropagates(t *testing.T) {

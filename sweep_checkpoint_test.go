@@ -1,0 +1,123 @@
+package cohesion
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"cohesion/internal/simerr"
+)
+
+// TestSweepCheckpointResumesOnlyFailedCells is the degraded-sweep resume
+// acceptance check: a sweep in which one cell fails records every other
+// cell to the checkpoint, and the resumed sweep re-runs ONLY the failed
+// cell — every cached cell is served from disk and the final table is
+// bit-identical to a clean uninterrupted sweep.
+func TestSweepCheckpointResumesOnlyFailedCells(t *testing.T) {
+	defer func() { runForTest = nil }()
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	p := ExpParams{Kernels: []string{"heat", "fft", "sobel"}, Parallel: 4}
+
+	// Reference: a clean sweep with no checkpoint at all.
+	runForTest = func(job runJob, _ ExpParams) (*Result, error) {
+		return fakeCellResult(job.kernel, job.name), nil
+	}
+	clean, err := Fig8(p)
+	if err != nil {
+		t.Fatalf("clean sweep failed: %v", err)
+	}
+
+	// Pass 1: same sweep, checkpointed, with one cell failing on budget.
+	var firstCalls atomic.Int64
+	runForTest = func(job runJob, _ ExpParams) (*Result, error) {
+		firstCalls.Add(1)
+		if job.kernel == "fft" && job.name == "Cohesion" {
+			return nil, fmt.Errorf("%s/%s: %w", job.kernel, job.name, simerr.ErrBudgetExhausted)
+		}
+		return fakeCellResult(job.kernel, job.name), nil
+	}
+	ck, err := OpenSweepCheckpoint(path, p, false)
+	if err != nil {
+		t.Fatalf("OpenSweepCheckpoint: %v", err)
+	}
+	p.Checkpoint = ck
+	if _, err := Fig8(p); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("degraded sweep error = %v, want ErrBudgetExhausted", err)
+	}
+	total := int(firstCalls.Load())
+	if ck.Cells() != total-1 {
+		t.Fatalf("checkpoint holds %d cells after %d runs with 1 failure", ck.Cells(), total)
+	}
+
+	// Pass 2: resume. Only the failed cell may reach the runner.
+	var resumeCalls atomic.Int64
+	var resumedCell string
+	runForTest = func(job runJob, _ ExpParams) (*Result, error) {
+		resumeCalls.Add(1)
+		resumedCell = job.kernel + "/" + job.name
+		return fakeCellResult(job.kernel, job.name), nil
+	}
+	ck2, err := OpenSweepCheckpoint(path, p, true)
+	if err != nil {
+		t.Fatalf("OpenSweepCheckpoint(resume): %v", err)
+	}
+	if ck2.Cells() != total-1 {
+		t.Fatalf("resumed checkpoint holds %d cells, want %d", ck2.Cells(), total-1)
+	}
+	p.Checkpoint = ck2
+	resumed, err := Fig8(p)
+	if err != nil {
+		t.Fatalf("resumed sweep failed: %v", err)
+	}
+	if n := resumeCalls.Load(); n != 1 {
+		t.Fatalf("resume re-ran %d cells, want only the failed one", n)
+	}
+	if resumedCell != "fft/Cohesion" {
+		t.Fatalf("resume re-ran %s, want fft/Cohesion", resumedCell)
+	}
+	if ck2.Reused() != total-1 {
+		t.Fatalf("resume served %d cells from cache, want %d", ck2.Reused(), total-1)
+	}
+	if ck2.Cells() != total {
+		t.Fatalf("completed resume holds %d cells, want %d", ck2.Cells(), total)
+	}
+	if !reflect.DeepEqual(clean, resumed) {
+		t.Fatalf("resumed sweep table differs from clean run:\nclean   %+v\nresumed %+v", clean, resumed)
+	}
+}
+
+// TestSweepCheckpointRejectsForeignSpec: resuming against a checkpoint
+// written by a sweep with different parameters must fail loudly instead
+// of silently serving cells from an incompatible run.
+func TestSweepCheckpointRejectsForeignSpec(t *testing.T) {
+	defer func() { runForTest = nil }()
+	runForTest = func(job runJob, _ ExpParams) (*Result, error) {
+		return fakeCellResult(job.kernel, job.name), nil
+	}
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	p := ExpParams{Kernels: []string{"heat"}, Seed: 1, Parallel: 2}
+	ck, err := OpenSweepCheckpoint(path, p, false)
+	if err != nil {
+		t.Fatalf("OpenSweepCheckpoint: %v", err)
+	}
+	p.Checkpoint = ck
+	if _, err := Fig2(p); err != nil {
+		t.Fatalf("seed sweep failed: %v", err)
+	}
+
+	other := ExpParams{Kernels: []string{"heat"}, Seed: 2, Parallel: 2}
+	if _, err := OpenSweepCheckpoint(path, other, true); err == nil ||
+		!strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("foreign-spec resume error = %v, want spec-mismatch rejection", err)
+	}
+
+	// A missing file is a fresh start, not an error.
+	fresh, err := OpenSweepCheckpoint(filepath.Join(t.TempDir(), "none.ckpt"), p, true)
+	if err != nil || fresh.Cells() != 0 {
+		t.Fatalf("missing-file resume = (%v cells, %v), want empty fresh start", fresh.Cells(), err)
+	}
+}
