@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench microbench experiments examples fmt vet cover clean
+.PHONY: all build test race bench bench-short bench-check microbench experiments examples fmt vet cover clean
 
 all: build test
 
@@ -17,10 +17,20 @@ race:
 	$(GO) test -race ./...
 
 # Performance-tracking harness: event-engine ns+allocs/event, per-kernel
-# events/sec, and the serial-vs-parallel fan-out speedup, written to
-# BENCH_results.json for commit-to-commit comparison.
+# events/sec, the per-subsystem allocation breakdown, and the
+# serial-vs-parallel fan-out speedup, written to BENCH_results.json for
+# commit-to-commit comparison.
 bench:
 	$(GO) run ./cmd/cohesion-bench
+
+# The CI smoke variant: two kernels, small sweep.
+bench-short:
+	$(GO) run ./cmd/cohesion-bench -short
+
+# The regression gate: short suite compared against the committed
+# baseline; a >15% ns/event or any allocs/event regression exits 2.
+bench-check:
+	$(GO) run ./cmd/cohesion-bench -short -out BENCH_current.json -baseline BENCH_baseline.json
 
 # The go-test micro-benchmarks (per-package, -benchmem).
 microbench:

@@ -1,21 +1,35 @@
 // Command cohesion-bench is the repository's performance-tracking harness.
-// It measures three things and writes them to a JSON file (default
-// BENCH_results.json) so successive commits can be compared:
+// It measures and writes to a JSON file (default BENCH_results.json) so
+// successive commits can be compared:
 //
 //  1. The event-engine micro-benchmark: ns and heap allocations per
 //     scheduled+fired event in steady state (the zero-allocation property).
 //  2. Full-simulation throughput: events per wall-clock second, simulated
 //     cycles, and heap allocations per event for each kernel x memory-model
-//     pair.
-//  3. Experiment fan-out: the Figure 9a directory sweep run serially
+//     pair. Machine assembly and workload setup are excluded (the run is
+//     prepared first, then timed), and the finalization epilogue (invariant
+//     sweep, drain, memory fingerprint — O(state), not O(events)) is timed
+//     separately, so the figures are steady-state event-loop throughput.
+//  3. A per-subsystem allocation breakdown for one kernel in each mode:
+//     every heap object allocated during the timed run, attributed to the
+//     package that allocated it (runtime.MemProfile at rate 1).
+//  4. Experiment fan-out: the Figure 9a directory sweep run serially
 //     (-parallel 1) and with one worker per CPU, reporting the wall-clock
-//     speedup and checking the two result tables are identical.
+//     speedup and checking the two result tables are identical. On a
+//     single-CPU host the leg is labeled single_cpu and the speedup is not
+//     meaningful.
+//
+// With -baseline, the report is compared against a previously written
+// report: a >15% ns/event regression (tunable with -max-ns-regress) or
+// any allocs/event increase on a matching section fails the run with exit
+// code 2 — the CI bench-regression gate.
 //
 // Examples:
 //
 //	cohesion-bench                   # full suite, writes BENCH_results.json
 //	cohesion-bench -short            # CI smoke: two kernels, small sweep
 //	cohesion-bench -out /tmp/b.json
+//	cohesion-bench -short -baseline BENCH_baseline.json
 package main
 
 import (
@@ -28,6 +42,8 @@ import (
 	"os/signal"
 	"reflect"
 	"runtime"
+	"slices"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -47,7 +63,14 @@ type Report struct {
 
 	EventEngine EventEngineBench `json:"event_engine"`
 	Simulations []SimBench       `json:"simulations"`
-	Fanout      FanoutBench      `json:"fanout"`
+
+	// AllocBreakdown attributes every heap object allocated during one
+	// kernel's timed run (construction excluded) to the package that
+	// allocated it, one entry per memory model. Collected with
+	// runtime.MemProfileRate = 1, so the object counts are exact.
+	AllocBreakdown []AllocBreakdown `json:"alloc_breakdown"`
+
+	Fanout FanoutBench `json:"fanout"`
 
 	// Lifecycle measures the run-lifecycle layer's observability-neutrality
 	// contract: a SimulateCtx run with an armed (never-tripping) budget must
@@ -76,16 +99,44 @@ type EventEngineBench struct {
 	Iterations     int     `json:"iterations"`
 }
 
-// SimBench is one full kernel simulation's throughput measurement.
+// SimBench is one full kernel simulation's steady-state throughput
+// measurement: the machine is prepared (assembled, kernel built, workers
+// spawned) untimed, the event loop is timed as wall_seconds, and the
+// finalization epilogue (invariant sweep, dirty-state drain, memory
+// fingerprint) is timed separately as finalize_seconds — it is
+// O(machine state), not O(events), and Cohesion runs digest the whole
+// preset region table at exit, so folding it into events/sec would
+// misattribute a fixed epilogue to the hot loop. Best of three passes;
+// allocations are the MemStats mallocs delta over the timed loop only.
 type SimBench struct {
-	Kernel         string  `json:"kernel"`
-	Mode           string  `json:"mode"`
-	Cycles         uint64  `json:"cycles"`
-	Events         uint64  `json:"events"`
-	WallSeconds    float64 `json:"wall_seconds"`
-	EventsPerSec   float64 `json:"events_per_sec"`
-	AllocsPerEvent float64 `json:"allocs_per_event"`
-	Fingerprint    uint64  `json:"mem_fingerprint"`
+	Kernel          string  `json:"kernel"`
+	Mode            string  `json:"mode"`
+	Cycles          uint64  `json:"cycles"`
+	Events          uint64  `json:"events"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	FinalizeSeconds float64 `json:"finalize_seconds"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	NsPerEvent      float64 `json:"ns_per_event"`
+	AllocsPerEvent  float64 `json:"allocs_per_event"`
+	Fingerprint     uint64  `json:"mem_fingerprint"`
+}
+
+// AllocBreakdown is one kernel run's per-subsystem allocation profile.
+type AllocBreakdown struct {
+	Kernel       string      `json:"kernel"`
+	Mode         string      `json:"mode"`
+	Events       uint64      `json:"events"`
+	TotalObjects int64       `json:"total_objects"`
+	TotalBytes   int64       `json:"total_bytes"`
+	Subsystems   []AllocSite `json:"subsystems"`
+}
+
+// AllocSite aggregates the heap objects allocated by one package during
+// the timed run.
+type AllocSite struct {
+	Package string `json:"package"`
+	Objects int64  `json:"objects"`
+	Bytes   int64  `json:"bytes"`
 }
 
 // LifecycleBench compares one kernel run without lifecycle controls
@@ -100,22 +151,28 @@ type LifecycleBench struct {
 	FingerprintsMatch bool    `json:"fingerprints_match"`
 }
 
-// FanoutBench compares the Figure 9a sweep serial vs parallel.
+// FanoutBench compares the Figure 9a sweep serial vs parallel. SingleCPU
+// marks reports taken on a one-CPU host (or with one worker), where the
+// parallel leg degenerates to a second serial run and the speedup figure
+// is not meaningful — baseline comparisons skip it.
 type FanoutBench struct {
 	Points          int     `json:"points"`
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
 	ParallelWorkers int     `json:"parallel_workers"`
+	SingleCPU       bool    `json:"single_cpu"`
 	Speedup         float64 `json:"speedup"`
 	TablesIdentical bool    `json:"tables_identical"`
 }
 
 func main() {
 	var (
-		short    = flag.Bool("short", false, "CI smoke mode: two kernels, small sweep")
-		parallel = flag.Int("parallel", 0, "workers for the parallel fan-out leg (0 = one per CPU)")
-		out      = flag.String("out", "BENCH_results.json", "report file")
-		seed     = flag.Int64("seed", 42, "workload seed")
+		short        = flag.Bool("short", false, "CI smoke mode: two kernels, small sweep")
+		parallel     = flag.Int("parallel", 0, "workers for the parallel fan-out leg (0 = one per CPU)")
+		out          = flag.String("out", "BENCH_results.json", "report file")
+		seed         = flag.Int64("seed", 42, "workload seed")
+		baseline     = flag.String("baseline", "", "compare against a previous report; regressions exit 2")
+		maxNsRegress = flag.Float64("max-ns-regress", 15, "max tolerated ns/event regression vs -baseline, percent")
 	)
 	flag.Parse()
 
@@ -139,11 +196,16 @@ func main() {
 		rep.EventEngine.BytesPerEvent, rep.EventEngine.Iterations)
 
 	fmt.Println("== full simulations: events per wall-clock second ==")
+	// Short mode trims the kernel list and the fan-out sweep but keeps the
+	// simulation scale: scale-1 runs finish in ~10ms, far too brief for the
+	// baseline gate's 15% threshold to clear scheduler noise. Scale 3 also
+	// amortizes the end-of-run fingerprint (Cohesion presets the fine-grain
+	// table, a fixed ~32K-line digest cost) enough that mode-to-mode
+	// throughput ratios reflect the protocols, not the epilogue.
 	kernelList := cohesion.KernelNames()
-	scale := 2
+	scale := 3
 	if *short {
 		kernelList = kernelList[:2]
-		scale = 1
 	}
 	for _, kernel := range kernelList {
 		for _, mode := range []cohesion.Mode{cohesion.SWcc, cohesion.HWcc, cohesion.Cohesion} {
@@ -152,8 +214,21 @@ func main() {
 				failRun(fmt.Sprintf("%s/%v", kernel, mode), err)
 			}
 			rep.Simulations = append(rep.Simulations, sb)
-			fmt.Printf("  %-8s %-8v %9.0f events/s  (%d events, %.2fs wall, %.2f allocs/event)\n",
-				kernel, mode, sb.EventsPerSec, sb.Events, sb.WallSeconds, sb.AllocsPerEvent)
+			fmt.Printf("  %-8s %-8v %9.0f events/s  (%d events, %.2fs loop + %.3fs finalize, %.4f allocs/event)\n",
+				kernel, mode, sb.EventsPerSec, sb.Events, sb.WallSeconds, sb.FinalizeSeconds, sb.AllocsPerEvent)
+		}
+	}
+
+	fmt.Println("== allocation breakdown: heap objects per subsystem (timed run only) ==")
+	for _, mode := range []cohesion.Mode{cohesion.SWcc, cohesion.HWcc, cohesion.Cohesion} {
+		ab, err := benchAllocBreakdown(ctx, kernelList[0], mode, scale, *seed)
+		if err != nil {
+			failRun(fmt.Sprintf("alloc breakdown %s/%v", kernelList[0], mode), err)
+		}
+		rep.AllocBreakdown = append(rep.AllocBreakdown, ab)
+		fmt.Printf("  %-8s %-8s %6d objects / %d events\n", ab.Kernel, ab.Mode, ab.TotalObjects, ab.Events)
+		for _, s := range ab.Subsystems {
+			fmt.Printf("    %-40s %6d objects %8d B\n", s.Package, s.Objects, s.Bytes)
 		}
 	}
 
@@ -186,6 +261,9 @@ func main() {
 	rep.Fanout = fb
 	fmt.Printf("  %d points: serial %.2fs, parallel(%d) %.2fs -> %.2fx speedup, tables identical: %v\n",
 		fb.Points, fb.SerialSeconds, fb.ParallelWorkers, fb.ParallelSeconds, fb.Speedup, fb.TablesIdentical)
+	if fb.SingleCPU {
+		fmt.Println("  (single-CPU leg: speedup is not meaningful and is excluded from baseline compares)")
+	}
 	if !fb.TablesIdentical {
 		fatal("parallel fan-out produced a different table than the serial run")
 	}
@@ -199,6 +277,70 @@ func main() {
 		fatal("%v", err)
 	}
 	fmt.Printf("report written to %s\n", *out)
+
+	if *baseline != "" {
+		if failures := compareBaseline(rep, *baseline, *maxNsRegress); failures > 0 {
+			fmt.Fprintf(os.Stderr, "cohesion-bench: %d regression(s) vs %s\n", failures, *baseline)
+			os.Exit(2)
+		}
+		fmt.Printf("no regressions vs %s\n", *baseline)
+	}
+}
+
+// compareBaseline checks rep against a previously written report and
+// returns the number of regressions: for each kernel/mode present in
+// both, ns/event may not regress by more than maxNsRegress percent and
+// allocs/event may not increase (beyond a 0.01 rounding epsilon). The
+// event-engine micro-benchmark is held to the same thresholds.
+func compareBaseline(rep Report, path string, maxNsRegress float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("baseline: %v", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal("baseline %s: %v", path, err)
+	}
+
+	const allocEps = 0.01
+	nsLimit := 1 + maxNsRegress/100
+	failures, matched := 0, 0
+	check := func(name string, oldNs, newNs, oldAllocs, newAllocs float64) {
+		matched++
+		nsOK := newNs <= oldNs*nsLimit
+		allocOK := newAllocs <= oldAllocs+allocEps
+		status := "ok"
+		if !nsOK || !allocOK {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("  %-18s ns/event %7.1f -> %7.1f (%+5.1f%%)  allocs/event %7.4f -> %7.4f  %s\n",
+			name, oldNs, newNs, (newNs-oldNs)/oldNs*100, oldAllocs, newAllocs, status)
+	}
+
+	fmt.Printf("== baseline compare vs %s (max +%.0f%% ns/event, allocs/event must not grow) ==\n",
+		path, maxNsRegress)
+	check("event-engine", base.EventEngine.NsPerEvent, rep.EventEngine.NsPerEvent,
+		base.EventEngine.AllocsPerEvent, rep.EventEngine.AllocsPerEvent)
+	baseSims := make(map[string]SimBench, len(base.Simulations))
+	for _, sb := range base.Simulations {
+		baseSims[sb.Kernel+"/"+sb.Mode] = sb
+	}
+	for _, sb := range rep.Simulations {
+		old, ok := baseSims[sb.Kernel+"/"+sb.Mode]
+		if !ok {
+			continue
+		}
+		oldNs := old.NsPerEvent
+		if oldNs == 0 && old.Events > 0 { // pre-ns_per_event baseline schema
+			oldNs = old.WallSeconds * 1e9 / float64(old.Events)
+		}
+		check(sb.Kernel+"/"+sb.Mode, oldNs, sb.NsPerEvent, old.AllocsPerEvent, sb.AllocsPerEvent)
+	}
+	if matched < 2 {
+		fatal("baseline %s shares no simulation sections with this run (short vs full?)", path)
+	}
+	return failures
 }
 
 // benchEventEngine times the steady-state schedule+fire cycle against a
@@ -226,40 +368,192 @@ func benchEventEngine() EventEngineBench {
 	}
 }
 
-// benchSim runs one kernel once and reports wall-clock throughput plus
-// heap allocations per event (runtime.MemStats mallocs delta over the run,
-// which includes machine construction — the steady-state floor is the
-// event-engine figure above).
+// benchSim measures one kernel's steady-state throughput: each pass
+// prepares the run untimed (machine assembly, kernel build, worker
+// spawn), times the event loop (Simulate), then times the finalization
+// epilogue (Finalize) separately. Three passes; the fastest wall clock
+// and the lowest mallocs delta win, since the slower readings carry GC
+// pauses and scheduler noise, not simulator cost. Verification is off —
+// this is the hot path alone, and the golden tests cover correctness.
 func benchSim(ctx context.Context, kernel string, mode cohesion.Mode, scale int, seed int64) (SimBench, error) {
-	cfg := cohesion.ScaledConfig(4).WithMode(mode)
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	res, err := cohesion.RunCtx(ctx, cohesion.RunConfig{
-		Machine: cfg,
+	rc := cohesion.RunConfig{
+		Machine: cohesion.ScaledConfig(4).WithMode(mode),
 		Kernel:  kernel,
 		Scale:   scale,
 		Seed:    seed,
-		Verify:  true,
-	})
-	wall := time.Since(start)
-	runtime.ReadMemStats(&after)
-	if err != nil {
-		return SimBench{}, err
 	}
-	events := res.Stats.Events
-	allocs := float64(after.Mallocs - before.Mallocs)
-	return SimBench{
-		Kernel:         kernel,
-		Mode:           mode.String(),
-		Cycles:         res.Cycles(),
-		Events:         events,
-		WallSeconds:    wall.Seconds(),
-		EventsPerSec:   float64(events) / wall.Seconds(),
-		AllocsPerEvent: allocs / float64(events),
-		Fingerprint:    res.MemFingerprint,
-	}, nil
+	// Best-of-three normally; short runs get extra passes until the fastest
+	// timed region is long enough that the best-of estimate is stable.
+	const (
+		minPasses = 3
+		maxPasses = 10
+		minWall   = 0.05 // seconds
+	)
+	var best SimBench
+	for i := 0; i < minPasses || (best.WallSeconds < minWall && i < maxPasses); i++ {
+		p, err := cohesion.Prepare(rc)
+		if err != nil {
+			return SimBench{}, err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := p.Simulate(ctx); err != nil {
+			return SimBench{}, err
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		start = time.Now()
+		res, err := p.Finalize()
+		finalize := time.Since(start)
+		if err != nil {
+			return SimBench{}, err
+		}
+		events := res.Stats.Events
+		allocsPerEvent := float64(after.Mallocs-before.Mallocs) / float64(events)
+		if i == 0 || wall.Seconds() < best.WallSeconds {
+			best = SimBench{
+				Kernel:          kernel,
+				Mode:            mode.String(),
+				Cycles:          res.Cycles(),
+				Events:          events,
+				WallSeconds:     wall.Seconds(),
+				FinalizeSeconds: finalize.Seconds(),
+				EventsPerSec:    float64(events) / wall.Seconds(),
+				NsPerEvent:      float64(wall.Nanoseconds()) / float64(events),
+				AllocsPerEvent:  best.AllocsPerEvent,
+				Fingerprint:     res.MemFingerprint,
+			}
+		}
+		if i == 0 || allocsPerEvent < best.AllocsPerEvent {
+			best.AllocsPerEvent = allocsPerEvent
+		}
+	}
+	return best, nil
+}
+
+// benchAllocBreakdown reruns one kernel with exact heap profiling
+// (runtime.MemProfileRate = 1) switched on between preparation and the
+// run, then diffs the memory profile across the run and attributes every
+// new object to the first cohesion package on its allocation stack.
+// Construction allocations land before the rate change and cancel out in
+// the diff, so the breakdown covers the timed hot path only.
+func benchAllocBreakdown(ctx context.Context, kernel string, mode cohesion.Mode, scale int, seed int64) (AllocBreakdown, error) {
+	p, err := cohesion.Prepare(cohesion.RunConfig{
+		Machine: cohesion.ScaledConfig(4).WithMode(mode),
+		Kernel:  kernel,
+		Scale:   scale,
+		Seed:    seed,
+	})
+	if err != nil {
+		return AllocBreakdown{}, err
+	}
+
+	before := memProfileSnapshot()
+	oldRate := runtime.MemProfileRate
+	runtime.MemProfileRate = 1
+	simErr := p.Simulate(ctx)
+	runtime.MemProfileRate = oldRate
+	if simErr != nil {
+		return AllocBreakdown{}, simErr
+	}
+	after := memProfileSnapshot()
+	res, err := p.Finalize()
+	if err != nil {
+		return AllocBreakdown{}, err
+	}
+
+	perPkg := map[string]*AllocSite{}
+	ab := AllocBreakdown{Kernel: kernel, Mode: mode.String(), Events: res.Stats.Events}
+	for stack, now := range after {
+		prev := before[stack]
+		objects := now.objects - prev.objects
+		bytes := now.bytes - prev.bytes
+		if objects <= 0 {
+			continue
+		}
+		pkg := stackPackage(stack)
+		site := perPkg[pkg]
+		if site == nil {
+			site = &AllocSite{Package: pkg}
+			perPkg[pkg] = site
+		}
+		site.Objects += objects
+		site.Bytes += bytes
+		ab.TotalObjects += objects
+		ab.TotalBytes += bytes
+	}
+	for _, site := range perPkg {
+		ab.Subsystems = append(ab.Subsystems, *site)
+	}
+	slices.SortFunc(ab.Subsystems, func(a, b AllocSite) int {
+		if a.Objects != b.Objects {
+			return int(b.Objects - a.Objects)
+		}
+		return strings.Compare(a.Package, b.Package)
+	})
+	return ab, nil
+}
+
+// profCounts is one allocation stack's cumulative object/byte totals.
+type profCounts struct {
+	objects int64
+	bytes   int64
+}
+
+// memProfileSnapshot captures the cumulative allocation profile keyed by
+// call stack. Two forced GCs first: the runtime publishes profile
+// records up to two collection cycles late.
+func memProfileSnapshot() map[[32]uintptr]profCounts {
+	runtime.GC()
+	runtime.GC()
+	var recs []runtime.MemProfileRecord
+	n, ok := runtime.MemProfile(nil, true)
+	for {
+		recs = make([]runtime.MemProfileRecord, n+64)
+		n, ok = runtime.MemProfile(recs, true)
+		if ok {
+			recs = recs[:n]
+			break
+		}
+	}
+	snap := make(map[[32]uintptr]profCounts, len(recs))
+	for _, r := range recs {
+		c := snap[r.Stack0]
+		c.objects += r.AllocObjects
+		c.bytes += r.AllocBytes
+		snap[r.Stack0] = c
+	}
+	return snap
+}
+
+// stackPackage resolves an allocation stack to the innermost cohesion
+// package on it — the subsystem that asked for the memory. Stacks with
+// no cohesion frame (GC, profiler bookkeeping) fall into "(runtime)".
+func stackPackage(stack [32]uintptr) string {
+	pcs := stack[:]
+	for i, pc := range pcs {
+		if pc == 0 {
+			pcs = pcs[:i]
+			break
+		}
+	}
+	frames := runtime.CallersFrames(pcs)
+	for {
+		f, more := frames.Next()
+		if strings.HasPrefix(f.Function, "cohesion") {
+			name := f.Function
+			slash := strings.LastIndexByte(name, '/')
+			if dot := strings.IndexByte(name[slash+1:], '.'); dot >= 0 {
+				return name[:slash+1+dot]
+			}
+			return name
+		}
+		if !more {
+			return "(runtime)"
+		}
+	}
 }
 
 // benchMetricsSample runs one kernel with the metrics registry attached and
@@ -371,6 +665,7 @@ func benchFanout(ctx context.Context, short bool, parallel int, seed int64) (Fan
 		SerialSeconds:   serialWall.Seconds(),
 		ParallelSeconds: parWall.Seconds(),
 		ParallelWorkers: parallel,
+		SingleCPU:       parallel <= 1 || runtime.GOMAXPROCS(0) == 1,
 		Speedup:         serialWall.Seconds() / parWall.Seconds(),
 		TablesIdentical: reflect.DeepEqual(serial, par),
 	}, nil

@@ -235,6 +235,41 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 	return p.run(ctx)
 }
 
+// Prepared is an assembled machine with its kernel spawned, stopped just
+// before the first event — the construction half of Run split out so
+// harnesses (cohesion-bench's steady-state measurements) can time and
+// meter the simulation separately from machine assembly and workload
+// setup. A Prepared is single-use: Run consumes it.
+type Prepared struct {
+	p *preparedRun
+}
+
+// Prepare assembles the machine for rc, attaches observability, builds
+// the kernel, and spawns the workers, without firing any event.
+func Prepare(rc RunConfig) (*Prepared, error) {
+	p, err := prepareRun(rc)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{p: p}, nil
+}
+
+// Run simulates the prepared machine to its end. Cancellation and budget
+// semantics match RunCtx.
+func (p *Prepared) Run(ctx context.Context) (*Result, error) { return p.p.run(ctx) }
+
+// Simulate runs the event loop to quiescence (or a budget stop /
+// cancellation) without finalizing: no invariant sweep, no cache drain,
+// no verification, no fingerprint. It exists so harnesses can time the
+// O(events) simulation separately from the O(machine-state) epilogue —
+// Finalize completes the run. Use Run unless you are measuring.
+func (p *Prepared) Simulate(ctx context.Context) error { return p.p.simulate(ctx) }
+
+// Finalize checks protocol invariants, drains surviving dirty cache
+// state to memory, verifies the kernel output if the run asked for it,
+// and packages the Result. It must follow a successful Simulate.
+func (p *Prepared) Finalize() (*Result, error) { return p.p.finalize() }
+
 // preparedRun is an assembled machine with its kernel spawned, ready to
 // simulate. The checkpoint layer prepares runs separately from executing
 // them so a resume can install its checkpoint callback in between.
@@ -305,6 +340,23 @@ func (p *preparedRun) run(ctx context.Context) (*Result, error) {
 		}
 		return nil, wrapped
 	}
+	return p.finalize()
+}
+
+// simulate runs the event loop alone — the O(events) phase.
+func (p *preparedRun) simulate(ctx context.Context) error {
+	rc := p.rc
+	if err := p.m.SimulateCtx(ctx, rc.MaxCycles, rc.Limits); err != nil {
+		return fmt.Errorf("cohesion: %s on %s: %w", rc.Kernel, rc.Machine.Label, err)
+	}
+	return nil
+}
+
+// finalize completes a successfully simulated run: the invariant sweep,
+// the dirty-state drain, optional output verification, and the Result
+// with its memory fingerprint — the O(machine-state) epilogue.
+func (p *preparedRun) finalize() (*Result, error) {
+	rc, m := p.rc, p.m
 	if err := m.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("cohesion: %s: protocol invariant violated: %w", rc.Kernel, err)
 	}

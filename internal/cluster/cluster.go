@@ -6,16 +6,20 @@
 // involvement, per-word dirty bits, software flush/invalidate), and
 // Cohesion (the per-line incoherent bit and capture probes).
 //
-// Cores execute workload programs running on their own goroutines; the
-// machine and the program alternate strictly (the machine resumes a
-// program and then blocks until it yields its next operation), so the
-// simulation stays single-threaded and deterministic.
+// Cores execute workload programs on runtime coroutines (iter.Pull): the
+// machine resumes a program with its last result and receives the next
+// operation in one direct stack switch, with no goroutine, channel, or
+// scheduler involvement. The machine and the program still alternate
+// strictly — exactly one of them runs at any moment — so the simulation
+// stays single-threaded and deterministic, and programs may freely touch
+// host-side state (statistics, allocators, golden models) between
+// operations.
 package cluster
 
 import (
 	"fmt"
+	"iter"
 	"sort"
-	"sync"
 
 	"cohesion/internal/addr"
 	"cohesion/internal/cache"
@@ -88,15 +92,21 @@ type Op struct {
 }
 
 // Core is one in-order core. Programs interact with it only through Do,
-// from the program goroutine; everything else belongs to the machine side.
+// from inside the program coroutine; everything else belongs to the
+// machine side.
 type Core struct {
 	ID      int // global core id
 	cluster *Cluster
 	l1i     *cache.Cache
 	l1d     *cache.Cache
 
-	reqCh  chan Op
-	respCh chan uint32
+	// Coroutine handles for the program (iter.Pull over its op stream).
+	// next resumes the program with the value left in resp and returns
+	// the operation it yields; stop unwinds a suspended program.
+	next  func() (Op, bool)
+	stop  func()
+	yield func(Op) bool
+	resp  uint32
 
 	pc       int // instruction index within the kernel code footprint
 	codeBase addr.Addr
@@ -106,50 +116,51 @@ type Core struct {
 	done    bool
 	pending Op
 
+	ifetchLine addr.Line   // line being instruction-fetched
+	opBorn     event.Cycle // send time of the in-flight uncached/flush request
+
 	raceTrapped bool // a table write's ack carried a race exception
 
 	// Pre-bound continuation funcs for the per-operation issue ladder
-	// (fetch -> step -> execute -> complete). Binding them once at
-	// construction keeps the hot path from allocating a fresh closure per
-	// operation; they are scheduled millions of times per simulation.
+	// (fetch -> ifetch -> execute -> access -> complete). Binding them
+	// once at construction keeps the hot path from allocating a fresh
+	// closure per operation; they are scheduled millions of times per
+	// simulation. Each reads the in-flight operation from c.pending (a
+	// core has exactly one operation in flight), so no per-op state needs
+	// capturing.
 	fetchFn        func() // cl.fetchNext(c)
 	stepFn         func() // cl.step(c)
 	completeZeroFn func() // cl.complete(c, 0)
-	completeValFn  func(uint32)
+	executeFn      func() // cl.execute(c)
+	ifetchL2Fn     func() // cl.ifetchL2(c)
+	ifetchFillFn   func() // cl.ifetchFill(c)
+	l2LoadFn       func() // cl.l2Load(c)
+	l2StoreFn      func() // cl.l2Store(c)
+	flushFn        func() // cl.flush(c)
+	invFn          func() // cl.inv(c)
+	uncachedRespFn func(msg.Resp)
+	flushRespFn    func(msg.Resp)
 }
 
-// coreShutdown is the panic value Do raises to unwind a program goroutine
+// coreShutdown is the panic value Do raises to unwind a program coroutine
 // when the machine aborts a run; StartCore's wrapper swallows it.
 type coreShutdown struct{}
 
-// Do issues one operation and blocks the program until it completes,
+// Do issues one operation and suspends the program until it completes,
 // returning the operation's result (loaded value, atomic's old value).
-// It must be called only from the core's program goroutine. If the
-// cluster has been shut down (the machine aborted the run), Do unwinds
-// the program goroutine instead of blocking forever.
+// It must be called only from inside the core's program. If the cluster
+// has been shut down (the machine aborted the run), Do unwinds the
+// program instead of suspending forever.
 func (c *Core) Do(o Op) uint32 {
-	c.issue(o)
-	select {
-	case v := <-c.respCh:
-		return v
-	case <-c.cluster.quit:
+	if !c.yield(o) {
 		panic(coreShutdown{})
 	}
-}
-
-// issue hands one operation to the machine side, or unwinds the program
-// goroutine if the cluster has been shut down.
-func (c *Core) issue(o Op) {
-	select {
-	case c.reqCh <- o:
-	case <-c.cluster.quit:
-		panic(coreShutdown{})
-	}
+	return c.resp
 }
 
 // TakeRaceTrap reports and clears the core's pending race exception (set
 // when a CohHWccRegion acknowledgement flagged a Figure 7 Case 5b race
-// under config.TrapOnRace). Called from the program goroutine.
+// under config.TrapOnRace). Called from the program.
 func (c *Core) TakeRaceTrap() bool {
 	was := c.raceTrapped
 	c.raceTrapped = false
@@ -164,6 +175,17 @@ func (c *Core) SetCode(base addr.Addr, bytes int) {
 		bytes = addr.WordBytes
 	}
 	c.codeBase, c.codeLen, c.pc = base, bytes, 0
+}
+
+// advance resumes the program and records the operation it yields. A
+// program that returns without yielding (only possible after an unwind)
+// reads as done.
+func (c *Core) advance() {
+	op, ok := c.next()
+	if !ok {
+		op = Op{Kind: OpDone}
+	}
+	c.pending = op
 }
 
 // Cluster is eight cores, their L1s, and the shared L2.
@@ -183,28 +205,40 @@ type Cluster struct {
 	txns   map[addr.Line]*l2txn
 	seq    uint64 // transaction-ID sequence (per cluster)
 
+	// freeTxn heads the cluster's l2txn free list. Transactions recycle
+	// through it so steady-state misses allocate nothing; see l2txn for
+	// the staleness rules that make recycling safe.
+	freeTxn *l2txn
+
 	onCoreDone func() // machine hook: a core's program completed
 
-	// quit, once closed by Shutdown, releases program goroutines blocked
-	// in Do so an aborted run leaks nothing; wg joins them.
-	quit    chan struct{}
-	wg      sync.WaitGroup
 	stopped bool
 }
 
 // l2txn is an in-flight L2 miss/upgrade for one line. Operations arriving
 // for the line while it is outstanding queue as retries.
+//
+// Records are pooled per cluster. Two staleness guards make recycling
+// safe against ABA (a record freed and re-used for a new transaction on
+// the same line): responses carry the transaction ID they answer (a
+// response whose ID differs from the record's current ID is stale), and
+// gen is monotonic across reuse — it is never reset — so a timer armed
+// for an old incarnation can never match the current generation.
 type l2txn struct {
+	line    addr.Line
 	id      uint64 // transaction ID shared by every retransmission; 0 = untracked
 	kind    msg.ReqKind
 	upgrade bool
 	bornAt  event.Cycle
 
-	gen      int // bumped on every (re)send; cancels stale timeout timers
+	gen      int // bumped on every (re)send; cancels stale timers; never reset
 	timeouts int // timeout-driven retransmissions spent
 	nacks    int // NACK-driven retransmissions spent
 
 	retries []func()
+
+	respFn   func(msg.Resp) // prebound response handler for every attempt
+	nextFree *l2txn
 }
 
 // Timeout/retry defaults and NACK backoff parameters. Timeout-driven
@@ -228,7 +262,6 @@ func New(id int, cfg config.Machine, q *event.Queue, run *stats.Run) *Cluster {
 		run:  run,
 		l2:   cache.New(cfg.L2Size, cfg.L2Assoc),
 		txns: make(map[addr.Line]*l2txn),
-		quit: make(chan struct{}),
 	}
 	for i := 0; i < cfg.CoresPerCluster; i++ {
 		c := &Core{
@@ -236,34 +269,48 @@ func New(id int, cfg config.Machine, q *event.Queue, run *stats.Run) *Cluster {
 			cluster: cl,
 			l1i:     cache.New(cfg.L1ISize, cfg.L1IAssoc),
 			l1d:     cache.New(cfg.L1DSize, cfg.L1DAssoc),
-			reqCh:   make(chan Op),
-			respCh:  make(chan uint32),
 			codeLen: addr.WordBytes,
 		}
 		c.fetchFn = func() { cl.fetchNext(c) }
 		c.stepFn = func() { cl.step(c) }
 		c.completeZeroFn = func() { cl.complete(c, 0) }
-		c.completeValFn = func(v uint32) { cl.complete(c, v) }
+		c.executeFn = func() { cl.execute(c) }
+		c.ifetchL2Fn = func() { cl.ifetchL2(c) }
+		c.ifetchFillFn = func() { cl.ifetchFill(c) }
+		c.l2LoadFn = func() { cl.l2Load(c) }
+		c.l2StoreFn = func() { cl.l2Store(c) }
+		c.flushFn = func() { cl.flush(c) }
+		c.invFn = func() { cl.inv(c) }
+		c.uncachedRespFn = func(resp msg.Resp) { cl.uncachedResp(c, resp) }
+		c.flushRespFn = func(msg.Resp) {
+			if m := cl.run.Metrics; m != nil {
+				m.MsgLatency[msg.SWFlush].Observe(uint64(cl.q.Now() - c.opBorn))
+			}
+			cl.complete(c, 0)
+		}
 		cl.Cores = append(cl.Cores, c)
 	}
 	return cl
 }
 
-// Shutdown releases any program goroutines still blocked in Do after an
-// aborted run and waits for them to exit. It is idempotent and must only
-// be called once the event loop has stopped (the goroutines unwind
-// without touching machine state). Normally-completed programs have
-// already exited; Shutdown exists for the early-return paths — deadlock,
-// retry exhaustion, cycle limit, oracle violation — where cores are still
-// mid-operation, which would otherwise leak two goroutine stacks per core
-// across the thousands of simulations a parallel sweep runs per process.
+// Shutdown unwinds any program coroutines still suspended mid-operation
+// after an aborted run. It is idempotent and must only be called once the
+// event loop has stopped (the programs unwind without touching machine
+// state). Normally-completed programs have already finished; Shutdown
+// exists for the early-return paths — deadlock, retry exhaustion, cycle
+// limit, oracle violation — where cores are still mid-operation. Stopping
+// a finished (or never-resumed) coroutine is a no-op, so the loop needs
+// no per-core state check.
 func (cl *Cluster) Shutdown() {
 	if cl.stopped {
 		return
 	}
 	cl.stopped = true
-	close(cl.quit)
-	cl.wg.Wait()
+	for _, c := range cl.Cores {
+		if c.stop != nil {
+			c.stop()
+		}
+	}
 }
 
 // Wire installs the machine glue.
@@ -298,8 +345,8 @@ func (cl *Cluster) OldestTxn(now event.Cycle) (age event.Cycle, line addr.Line, 
 	return age, line, ok
 }
 
-// StartCore launches a program on core index i. The program runs on its
-// own goroutine; the first operation is fetched when the core's first
+// StartCore launches a program on core index i. The program runs on a
+// runtime coroutine; the first operation is fetched when the core's first
 // issue event fires.
 func (cl *Cluster) StartCore(i int, program func(c *Core)) {
 	c := cl.Cores[i]
@@ -307,9 +354,8 @@ func (cl *Cluster) StartCore(i int, program func(c *Core)) {
 		panic(simerr.Invariant(uint64(cl.q.Now()), cl.site(), 0, "core %d started twice", c.ID))
 	}
 	c.started = true
-	cl.wg.Add(1)
-	go func() {
-		defer cl.wg.Done()
+	c.next, c.stop = iter.Pull(func(yield func(Op) bool) {
+		c.yield = yield
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(coreShutdown); !ok {
@@ -318,41 +364,45 @@ func (cl *Cluster) StartCore(i int, program func(c *Core)) {
 			}
 		}()
 		program(c)
-		c.issue(Op{Kind: OpDone})
-	}()
+		yield(Op{Kind: OpDone})
+	})
 	cl.q.After(1, c.fetchFn)
 }
 
-// fetchNext blocks until the program yields its next operation, then
-// schedules its issue. The strict alternation keeps simulation
-// deterministic: exactly one goroutine runs at any moment.
+// fetchNext resumes the program until it yields its next operation, then
+// steps it. The strict alternation keeps simulation deterministic:
+// exactly one of machine and program runs at any moment.
 func (cl *Cluster) fetchNext(c *Core) {
-	c.pending = <-c.reqCh
+	c.advance()
 	cl.step(c)
 }
 
 func (cl *Cluster) step(c *Core) {
-	o := c.pending
-	if o.Kind == OpDone {
+	if c.pending.Kind == OpDone {
 		c.done = true
+		// The program is parked in its final yield; stop finishes the
+		// coroutine so nothing lingers across the thousands of
+		// simulations a parallel sweep runs per process.
+		c.stop()
 		if cl.onCoreDone != nil {
 			cl.onCoreDone()
 		}
 		return
 	}
-	cl.ifetch(c, func() { cl.execute(c, o) })
+	cl.ifetch(c)
 }
 
-// complete resumes the program with the op's result, blocks until the
-// program yields its next operation, and schedules its issue one cycle
-// later. Blocking here — rather than when the issue event fires — is what
-// keeps the strict machine/program alternation: the event loop never runs
-// concurrently with program code, so programs may freely touch host-side
-// state (statistics, allocators, golden models) between operations.
+// complete resumes the program with the op's result, runs it until it
+// yields its next operation, and schedules that operation's issue one
+// cycle later. Resuming here — rather than when the issue event fires —
+// is what keeps the strict machine/program alternation: the event loop
+// never runs concurrently with program code, so programs may freely touch
+// host-side state (statistics, allocators, golden models) between
+// operations.
 func (cl *Cluster) complete(c *Core, v uint32) {
 	cl.run.ForwardProgress++
-	c.respCh <- v
-	c.pending = <-c.reqCh
+	c.resp = v
+	c.advance()
 	cl.q.After(1, c.stepFn)
 }
 
@@ -360,28 +410,37 @@ func (cl *Cluster) complete(c *Core, v uint32) {
 // one instruction within the kernel's code footprint; L1I misses access
 // the L2, and L2 misses fetch the code line from the L3 (counted as
 // Instruction Requests, always coherence-free reads for code).
-func (cl *Cluster) ifetch(c *Core, cont func()) {
+func (cl *Cluster) ifetch(c *Core) {
 	cl.run.Instructions++
 	pcAddr := c.codeBase + addr.Addr((c.pc*addr.WordBytes)%c.codeLen)
 	c.pc++
 	line := addr.LineOf(pcAddr)
 	if c.l1i.Lookup(line) != nil {
-		cont()
+		cl.execute(c)
 		return
 	}
-	cl.l2Stage(func() {
-		if cl.l2.Lookup(line) != nil {
-			c.l1i.Allocate(line) // code is clean; victims drop silently
-			cont()
-			return
-		}
-		cl.joinTxn(line, false, func() {
-			if cl.l2.Peek(line) != nil && c.l1i.Peek(line) == nil {
-				c.l1i.Allocate(line)
-			}
-			cont()
-		}, msg.ReqInstr)
-	})
+	c.ifetchLine = line
+	cl.l2Stage(c.ifetchL2Fn)
+}
+
+// ifetchL2 is the L2 stage of an instruction fetch that missed the L1I.
+func (cl *Cluster) ifetchL2(c *Core) {
+	line := c.ifetchLine
+	if cl.l2.Lookup(line) != nil {
+		c.l1i.Allocate(line) // code is clean; victims drop silently
+		cl.execute(c)
+		return
+	}
+	cl.joinTxn(line, false, c.ifetchFillFn, msg.ReqInstr)
+}
+
+// ifetchFill resumes an instruction fetch once its L2 fill settled.
+func (cl *Cluster) ifetchFill(c *Core) {
+	line := c.ifetchLine
+	if cl.l2.Peek(line) != nil && c.l1i.Peek(line) == nil {
+		c.l1i.Allocate(line)
+	}
+	cl.execute(c)
 }
 
 // l2Stage schedules fn after the L2 access latency, serializing on the
@@ -398,21 +457,22 @@ func (cl *Cluster) l2Stage(fn func()) {
 	cl.q.At(start+event.Cycle(cl.cfg.L2Latency), fn)
 }
 
-func (cl *Cluster) execute(c *Core, o Op) {
+func (cl *Cluster) execute(c *Core) {
+	o := c.pending
 	switch o.Kind {
 	case OpWork:
 		cl.run.Instructions += uint64(o.Cycles)
 		cl.q.After(event.Cycle(o.Cycles), c.completeZeroFn)
 	case OpLoad:
-		cl.load(c, o.Addr, c.completeValFn)
+		cl.load(c)
 	case OpStore:
-		cl.store(c, o.Addr, o.Value, c.completeZeroFn)
+		cl.l2Stage(c.l2StoreFn)
 	case OpAtomic, OpUncLoad, OpUncStore:
-		cl.uncached(c, o, c.completeValFn)
+		cl.uncached(c)
 	case OpFlush:
-		cl.flush(c, o.Addr, c.completeZeroFn)
+		cl.l2Stage(c.flushFn)
 	case OpInv:
-		cl.inv(c, o.Addr, c.completeZeroFn)
+		cl.l2Stage(c.invFn)
 	default:
 		panic(simerr.Invariant(uint64(cl.q.Now()), cl.site(), uint64(addr.LineOf(o.Addr).Base()),
 			"unknown op kind %d from core %d", o.Kind, c.ID))
@@ -420,7 +480,9 @@ func (cl *Cluster) execute(c *Core, o Op) {
 }
 
 // trace records an L2-side protocol event in the run's TraceLog and
-// structured sink (and on stdout when Debug is set).
+// structured sink (and on stdout when Debug is set). Hot call sites guard
+// on run.Tracing() || Debug themselves: a variadic call boxes its
+// arguments at the call site even when tracing is off.
 func (cl *Cluster) trace(format string, args ...any) {
 	if !cl.run.Tracing() && !Debug {
 		return
@@ -456,8 +518,10 @@ func (cl *Cluster) send(req msg.Req, onResp func(msg.Resp)) {
 	cl.toHome(req, onResp)
 }
 
-// load returns the word at a through the L1D/L2 hierarchy.
-func (cl *Cluster) load(c *Core, a addr.Addr, cont func(uint32)) {
+// load returns the word at the pending op's address through the L1D/L2
+// hierarchy.
+func (cl *Cluster) load(c *Core) {
+	a := c.pending.Addr
 	line := addr.LineOf(a)
 	bit := cache.WordBit(a)
 	if c.l1d.Lookup(line) != nil {
@@ -471,16 +535,17 @@ func (cl *Cluster) load(c *Core, a addr.Addr, cont func(uint32)) {
 			if cl.orc != nil {
 				cl.orc.LoadObserved(cl.ID, a, v)
 			}
-			cont(v)
+			cl.complete(c, v)
 			return
 		}
 		// The line is resident but this word was never filled (SWcc
 		// write-allocate leaves partial lines): fall through to a fetch.
 	}
-	cl.l2Stage(func() { cl.l2Load(c, a, cont) })
+	cl.l2Stage(c.l2LoadFn)
 }
 
-func (cl *Cluster) l2Load(c *Core, a addr.Addr, cont func(uint32)) {
+func (cl *Cluster) l2Load(c *Core) {
+	a := c.pending.Addr
 	line := addr.LineOf(a)
 	bit := cache.WordBit(a)
 	if e := cl.l2.Lookup(line); e != nil && e.ValidMask&bit != 0 {
@@ -491,24 +556,21 @@ func (cl *Cluster) l2Load(c *Core, a addr.Addr, cont func(uint32)) {
 		if cl.orc != nil {
 			cl.orc.LoadObserved(cl.ID, a, v)
 		}
-		cont(v)
+		cl.complete(c, v)
 		return
 	}
 	// Miss, or resident with the needed word invalid: fetch and merge.
-	cl.joinTxn(line, false, func() { cl.l2Load(c, a, cont) }, msg.ReqRead)
+	cl.joinTxn(line, false, c.l2LoadFn, msg.ReqRead)
 }
 
-// store writes the word at a. Stores are write-through to the L2 and need
-// write permission there: Modified under HWcc, or the incoherent bit under
-// SWcc/Cohesion. In pure SWcc mode a store miss write-allocates locally
-// with per-word valid/dirty bits and sends no message at all (paper §2.1:
-// "Writes can be issued as write-allocates under SWcc without waiting on a
-// directory response").
-func (cl *Cluster) store(c *Core, a addr.Addr, v uint32, cont func()) {
-	cl.l2Stage(func() { cl.l2Store(c, a, v, cont) })
-}
-
-func (cl *Cluster) l2Store(c *Core, a addr.Addr, v uint32, cont func()) {
+// l2Store writes the pending op's word. Stores are write-through to the
+// L2 and need write permission there: Modified under HWcc, or the
+// incoherent bit under SWcc/Cohesion. In pure SWcc mode a store miss
+// write-allocates locally with per-word valid/dirty bits and sends no
+// message at all (paper §2.1: "Writes can be issued as write-allocates
+// under SWcc without waiting on a directory response").
+func (cl *Cluster) l2Store(c *Core) {
+	a, v := c.pending.Addr, c.pending.Value
 	line := addr.LineOf(a)
 	bit := cache.WordBit(a)
 	e := cl.l2.Lookup(line)
@@ -525,11 +587,11 @@ func (cl *Cluster) l2Store(c *Core, a addr.Addr, v uint32, cont func()) {
 			e.Data[addr.WordIndex(a)] = v
 			e.ValidMask |= bit
 			e.DirtyMask |= bit
-			cont()
+			cl.complete(c, 0)
 			return
 		}
 		// Shared under HWcc: upgrade.
-		cl.joinTxn(line, true, func() { cl.l2Store(c, a, v, cont) }, msg.ReqWrite)
+		cl.joinTxn(line, true, c.l2StoreFn, msg.ReqWrite)
 		return
 	}
 	if cl.cfg.Mode == config.SWcc {
@@ -545,10 +607,43 @@ func (cl *Cluster) l2Store(c *Core, a addr.Addr, v uint32, cont func()) {
 		if cl.orc != nil {
 			cl.orc.StoreObserved(cl.ID, a, v, true)
 		}
-		cont()
+		cl.complete(c, 0)
 		return
 	}
-	cl.joinTxn(line, true, func() { cl.l2Store(c, a, v, cont) }, msg.ReqWrite)
+	cl.joinTxn(line, true, c.l2StoreFn, msg.ReqWrite)
+}
+
+// allocTxn takes a transaction record from the free list (or allocates
+// the pool's next record) and resets its per-incarnation state. gen is
+// deliberately NOT reset: see l2txn.
+func (cl *Cluster) allocTxn(line addr.Line, kind msg.ReqKind) *l2txn {
+	t := cl.freeTxn
+	if t == nil {
+		t = &l2txn{}
+		t.respFn = func(resp msg.Resp) { cl.handleResp(t.line, t, resp) }
+	} else {
+		cl.freeTxn = t.nextFree
+		t.nextFree = nil
+	}
+	t.line = line
+	t.kind = kind
+	t.id = 0
+	t.upgrade = false
+	t.bornAt = cl.q.Now()
+	t.timeouts = 0
+	t.nacks = 0
+	return t
+}
+
+// releaseTxn returns a settled record to the free list, dropping retry
+// references so settled continuations are not kept alive.
+func (cl *Cluster) releaseTxn(t *l2txn) {
+	for i := range t.retries {
+		t.retries[i] = nil
+	}
+	t.retries = t.retries[:0]
+	t.nextFree = cl.freeTxn
+	cl.freeTxn = t
 }
 
 // joinTxn coalesces misses: if a transaction is outstanding for the line
@@ -565,7 +660,8 @@ func (cl *Cluster) joinTxn(line addr.Line, write bool, retry func(), kind msg.Re
 		cl.q.After(event.Cycle(cl.cfg.L2Latency), retry)
 		return
 	}
-	t := &l2txn{kind: kind, upgrade: write && cl.l2.Peek(line) != nil, bornAt: cl.q.Now()}
+	t := cl.allocTxn(line, kind)
+	t.upgrade = write && cl.l2.Peek(line) != nil
 	if kind.Retryable() {
 		cl.seq++
 		t.id = uint64(cl.ID)<<32 | cl.seq // seq starts at 1, so IDs are nonzero
@@ -584,20 +680,24 @@ func (cl *Cluster) joinTxn(line addr.Line, write bool, retry func(), kind msg.Re
 // network.
 func (cl *Cluster) sendAttempt(line addr.Line, t *l2txn) {
 	t.gen++
-	if t.gen == 1 && t.id != 0 {
+	// Open the trace span only on the incarnation's first transmission
+	// (gen is monotonic across pool reuse, so it cannot distinguish
+	// incarnations; the retry counters reset per incarnation and every
+	// retransmission path bumps one before resending).
+	if t.id != 0 && t.timeouts == 0 && t.nacks == 0 && cl.run.Tracing() {
 		cl.traceTxn('b', t.id, "%v line=%#x", t.kind, uint64(line))
 	}
-	cl.send(msg.Req{Kind: t.kind, Line: line, ID: t.id}, func(resp msg.Resp) {
-		cl.handleResp(line, t, resp)
-	})
+	cl.send(msg.Req{Kind: t.kind, Line: line, ID: t.id}, t.respFn)
 	cl.armTimeout(line, t, t.gen)
 }
 
 // handleResp settles (or retries) a transaction when a response arrives.
 func (cl *Cluster) handleResp(line addr.Line, t *l2txn, resp msg.Resp) {
-	if cl.txns[line] != t {
+	if cl.txns[line] != t || (resp.ID != 0 && resp.ID != t.id) {
 		// A late response to an attempt of an already-settled transaction
-		// (the home normally dedups these away; defense in depth).
+		// (the home normally dedups these away; defense in depth). The ID
+		// check catches the recycled-record case: the pool may have reused
+		// the record for a new transaction on the same line.
 		cl.run.StaleResponses++
 		cl.trace("stale-resp line=%#x grant=%v", uint64(line), resp.Grant)
 		return
@@ -606,9 +706,11 @@ func (cl *Cluster) handleResp(line addr.Line, t *l2txn, resp msg.Resp) {
 		cl.nackBackoff(line, t)
 		return
 	}
-	cl.trace("install line=%#x grant=%v", uint64(line), resp.Grant)
-	if t.id != 0 {
-		cl.traceTxn('e', t.id, "%v line=%#x grant=%v", t.kind, uint64(line), resp.Grant)
+	if cl.run.Tracing() || Debug {
+		cl.trace("install line=%#x grant=%v", uint64(line), resp.Grant)
+		if t.id != 0 {
+			cl.traceTxn('e', t.id, "%v line=%#x grant=%v", t.kind, uint64(line), resp.Grant)
+		}
 	}
 	if m := cl.run.Metrics; m != nil {
 		m.MsgLatency[t.kind.Class()].Observe(uint64(cl.q.Now() - t.bornAt))
@@ -619,6 +721,7 @@ func (cl *Cluster) handleResp(line addr.Line, t *l2txn, resp msg.Resp) {
 	for _, r := range t.retries {
 		cl.q.After(0, r)
 	}
+	cl.releaseTxn(t)
 }
 
 // nackBackoff schedules a retransmission after a directory NACK, with
@@ -647,7 +750,8 @@ func (cl *Cluster) nackBackoff(line addr.Line, t *l2txn) {
 }
 
 // armTimeout schedules the transaction's retransmission check. A fired
-// timer whose generation is stale (the transaction settled or was already
+// timer whose generation is stale (the transaction settled — even if the
+// record was recycled, generations are never reset — or was already
 // retransmitted) does nothing.
 func (cl *Cluster) armTimeout(line addr.Line, t *l2txn, gen int) {
 	if t.id == 0 || !(cl.cfg.Faults.Enabled && cl.cfg.Faults.Recovery) {
@@ -747,7 +851,8 @@ func (cl *Cluster) install(line addr.Line, resp msg.Resp) {
 // uncached performs atomic and uncached word operations at the L3,
 // bypassing the local caches (the paper's atom.* instructions and
 // uncached loads/stores used by the runtime).
-func (cl *Cluster) uncached(c *Core, o Op, cont func(uint32)) {
+func (cl *Cluster) uncached(c *Core) {
+	o := c.pending
 	kind := msg.ReqAtomic
 	switch o.Kind {
 	case OpUncLoad:
@@ -763,73 +868,70 @@ func (cl *Cluster) uncached(c *Core, o Op, cont func(uint32)) {
 		Operand:  o.Value,
 		Operand2: o.Op2,
 	}
-	born := cl.q.Now()
-	cl.send(req, func(resp msg.Resp) {
-		if m := cl.run.Metrics; m != nil {
-			m.MsgLatency[kind.Class()].Observe(uint64(cl.q.Now() - born))
-		}
-		if resp.RaceException {
-			c.raceTrapped = true
-		}
-		cont(resp.Value)
-	})
+	c.opBorn = cl.q.Now()
+	cl.send(req, c.uncachedRespFn)
 }
 
-// flush implements the software WB instruction for the line containing a:
-// dirty words are written back to the L3 and the line stays resident
-// clean. Flushes of absent lines are the wasted operations of Figure 3.
-func (cl *Cluster) flush(c *Core, a addr.Addr, cont func()) {
-	line := addr.LineOf(a)
-	cl.l2Stage(func() {
-		cl.run.WBIssued++
-		e := cl.l2.Peek(line)
-		if e == nil {
-			cl.run.Edge(trace.EdgeL2FlushAbsent)
-			cont()
-			return
-		}
-		cl.run.WBUseful++
-		if e.DirtyMask == 0 {
-			cl.run.Edge(trace.EdgeL2FlushClean)
-			cont()
-			return
-		}
-		cl.run.Edge(trace.EdgeL2FlushDirty)
-		req := msg.Req{Kind: msg.ReqSWFlush, Line: line, Mask: e.DirtyMask, Data: e.Data}
-		e.DirtyMask = 0
-		if cl.orc != nil {
-			cl.orc.WritebackObserved(cl.ID, line, req.Mask, req.Data)
-		}
-		born := cl.q.Now()
-		cl.send(req, func(msg.Resp) {
-			if m := cl.run.Metrics; m != nil {
-				m.MsgLatency[msg.ReqSWFlush.Class()].Observe(uint64(cl.q.Now() - born))
-			}
-			cont()
-		})
-	})
+// uncachedResp settles an uncached/atomic operation. All three kinds
+// share the Atomic accounting class, so the latency histogram index is
+// constant.
+func (cl *Cluster) uncachedResp(c *Core, resp msg.Resp) {
+	if m := cl.run.Metrics; m != nil {
+		m.MsgLatency[msg.Atomic].Observe(uint64(cl.q.Now() - c.opBorn))
+	}
+	if resp.RaceException {
+		c.raceTrapped = true
+	}
+	cl.complete(c, resp.Value)
+}
+
+// flush implements the software WB instruction for the line containing
+// the pending op's address: dirty words are written back to the L3 and
+// the line stays resident clean. Flushes of absent lines are the wasted
+// operations of Figure 3. Runs after the L2 stage latency.
+func (cl *Cluster) flush(c *Core) {
+	line := addr.LineOf(c.pending.Addr)
+	cl.run.WBIssued++
+	e := cl.l2.Peek(line)
+	if e == nil {
+		cl.run.Edge(trace.EdgeL2FlushAbsent)
+		cl.complete(c, 0)
+		return
+	}
+	cl.run.WBUseful++
+	if e.DirtyMask == 0 {
+		cl.run.Edge(trace.EdgeL2FlushClean)
+		cl.complete(c, 0)
+		return
+	}
+	cl.run.Edge(trace.EdgeL2FlushDirty)
+	req := msg.Req{Kind: msg.ReqSWFlush, Line: line, Mask: e.DirtyMask, Data: e.Data}
+	e.DirtyMask = 0
+	if cl.orc != nil {
+		cl.orc.WritebackObserved(cl.ID, line, req.Mask, req.Data)
+	}
+	c.opBorn = cl.q.Now()
+	cl.send(req, c.flushRespFn)
 }
 
 // inv implements the software INV instruction: the line is dropped
 // locally. Incoherent lines drop silently (clean SWcc drops send no
 // message, paper §3.4); hardware-coherent lines are surrendered properly
 // so the directory stays consistent (dirty data written back, clean copies
-// released).
-func (cl *Cluster) inv(c *Core, a addr.Addr, cont func()) {
-	line := addr.LineOf(a)
-	cl.l2Stage(func() {
-		cl.run.InvIssued++
-		e := cl.l2.Peek(line)
-		if e == nil || e.Pinned {
-			cl.run.Edge(trace.EdgeL2InvAbsent)
-			cont()
-			return
-		}
-		cl.run.InvUseful++
-		cl.run.Edge(trace.EdgeL2InvDrop)
-		cl.dropLine(e)
-		cont()
-	})
+// released). Runs after the L2 stage latency.
+func (cl *Cluster) inv(c *Core) {
+	line := addr.LineOf(c.pending.Addr)
+	cl.run.InvIssued++
+	e := cl.l2.Peek(line)
+	if e == nil || e.Pinned {
+		cl.run.Edge(trace.EdgeL2InvAbsent)
+		cl.complete(c, 0)
+		return
+	}
+	cl.run.InvUseful++
+	cl.run.Edge(trace.EdgeL2InvDrop)
+	cl.dropLine(e)
+	cl.complete(c, 0)
 }
 
 // dropLine implements the INV instruction's removal: incoherent lines are
@@ -901,7 +1003,9 @@ func (cl *Cluster) HandleProbe(p msg.Probe, reply func(msg.ProbeReply)) {
 		}
 	}
 	e := cl.l2.Peek(p.Line)
-	cl.trace("probe %v line=%#x present=%v", p.Kind, uint64(p.Line), e != nil)
+	if cl.run.Tracing() || Debug {
+		cl.trace("probe %v line=%#x present=%v", p.Kind, uint64(p.Line), e != nil)
+	}
 	base := msg.ProbeReply{Cluster: cl.ID, Line: p.Line}
 	switch p.Kind {
 	case msg.ProbeInv:

@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -73,7 +74,19 @@ type Home struct {
 	busyUntil event.Cycle
 
 	txns    map[addr.Line]*txn
-	waiting map[addr.Line][]waiter
+	waiting map[addr.Line]*svc // FIFO linked list per line, oldest first
+
+	// Free lists for the bank's pooled hot-path records: service records
+	// (one per request in flight), transaction slots, and probe-reply
+	// staging records. Steady-state traffic recycles all three.
+	freeSvc *svc
+	freeTx  *txn
+	freeRet *probeRet
+
+	// targets is the reusable probe fan-out scratch; probeTargets fills
+	// it and every caller iterates the result synchronously before the
+	// next probeTargets call can run, so one buffer per bank suffices.
+	targets []int
 
 	// serviced/prevServiced record the transaction IDs this bank has already
 	// granted (two generations, rotated at servicedGenSize, so the set stays
@@ -97,16 +110,168 @@ const retryDelay = 8
 // transactions within any plausible retransmission window.
 const servicedGenSize = 1 << 16
 
-type waiter struct {
-	req   msg.Req
-	reply func(msg.Resp)
-}
-
 // txn is one line's in-flight transaction. Only one exists per line; every
-// other request for the line queues behind it.
+// other request for the line queues behind it. Records are pooled on the
+// bank; recycling is safe because every reference goes through the txns
+// map (nothing captures a *txn across events).
 type txn struct {
 	wbArrived bool   // a ReqEvict for the line arrived during the txn
 	onWB      func() // resume point for a probe that found the line absent
+	nextFree  *txn
+}
+
+func (h *Home) allocTxn() *txn {
+	t := h.freeTx
+	if t == nil {
+		return &txn{}
+	}
+	h.freeTx = t.nextFree
+	t.nextFree = nil
+	t.wbArrived = false
+	t.onWB = nil
+	return t
+}
+
+// svc is one request's service record: the request, its reply route, and
+// the in-flight state its flow threads through the bank's asynchronous
+// stages (domain lookup, data access, probe fan-out). The continuation
+// funcs are bound once per record, so the steady-state request flows —
+// dispatch, grant, upgrade, atomic — run without allocating; per-request
+// state is rewritten on reuse. Each flow is linear (one continuation
+// outstanding per record at a time), and a record is freed exactly once,
+// in finish (or immediately, for the slot-free message kinds), before its
+// reply is sent — everything finish needs is read into locals first.
+type svc struct {
+	h     *Home
+	req   msg.Req
+	reply func(msg.Resp)
+
+	grant     msg.Grant                       // grant to issue once data arrives
+	wasSharer bool                            // upgrade: requester already shared the line
+	dirEntry  *directory.Entry                // upgrade: entry being converted
+	tableWord addr.Addr                       // region-table word under consultation
+	atomicOld uint32                          // atomic: pre-update value
+	pending   int                             // outstanding probe replies (fan-in)
+	dataCont  func([addr.WordsPerLine]uint32) // resume point for an L3 data miss
+
+	nextWait *svc // FIFO link in the line's waiting list
+	nextFree *svc
+
+	processFn     func()
+	grantDataFn   func([addr.WordsPerLine]uint32)
+	uncLoadFn     func([addr.WordsPerLine]uint32)
+	tableReadFn   func()
+	tableMissFn   func()
+	dataMissFn    func()
+	allocDoneFn   func(*directory.Entry)
+	nackFn        func()
+	grantFreshFn  func()
+	upgradeRepFn  func(msg.ProbeReply)
+	atomicRetryFn func()
+	transDoneFn   func(raced bool)
+}
+
+func (h *Home) allocSvc() *svc {
+	s := h.freeSvc
+	if s == nil {
+		s = &svc{h: h}
+		s.processFn = func() { s.h.process(s) }
+		s.grantDataFn = func(data [addr.WordsPerLine]uint32) {
+			s.h.finish(s, msg.Resp{Grant: s.grant, HasData: true, Data: data})
+		}
+		s.uncLoadFn = func([addr.WordsPerLine]uint32) {
+			s.h.run.Edge(trace.EdgeHomeUncachedAtL3)
+			v := s.h.store.ReadWord(s.req.Addr)
+			if s.h.orc != nil {
+				s.h.orc.UncLoadObserved(s.req.Addr, v)
+			}
+			s.h.finish(s, msg.Resp{Grant: msg.GrantNone, Value: v})
+		}
+		s.tableReadFn = func() { s.h.tableRead(s) }
+		s.tableMissFn = func() {
+			if s.h.cfg.TableCachedInL3 {
+				s.h.installL3(addr.LineOf(s.tableWord))
+			}
+			s.h.tableRead(s)
+		}
+		s.dataMissFn = func() {
+			line := s.req.Line
+			s.h.installL3(line)
+			cont := s.dataCont
+			s.dataCont = nil
+			cont(s.h.store.ReadLine(line))
+		}
+		s.allocDoneFn = func(e *directory.Entry) { s.h.allocDone(s, e) }
+		s.nackFn = func() {
+			s.h.run.NacksSent++
+			s.h.run.Edge(trace.EdgeDirCapacityNack)
+			s.h.trace("nack (capacity) %v line=%#x cluster=%d", s.req.Kind, uint64(s.req.Line), s.req.Cluster)
+			s.h.finish(s, msg.Resp{Grant: msg.GrantNack})
+		}
+		s.grantFreshFn = func() { s.h.grantFresh(s) }
+		s.upgradeRepFn = func(rep msg.ProbeReply) {
+			s.h.absorbReplyData(s.req.Line, rep)
+			s.pending--
+			if s.pending == 0 {
+				s.h.upgradeFinish(s)
+			}
+		}
+		s.atomicRetryFn = func() { s.h.atomicFlow(s) }
+		s.transDoneFn = func(raced bool) {
+			s.h.finish(s, msg.Resp{
+				Grant:         msg.GrantNone,
+				Value:         s.atomicOld,
+				RaceException: raced && s.h.cfg.TrapOnRace,
+			})
+		}
+		return s
+	}
+	h.freeSvc = s.nextFree
+	s.nextFree = nil
+	return s
+}
+
+func (h *Home) releaseSvc(s *svc) {
+	s.reply = nil
+	s.dirEntry = nil
+	s.dataCont = nil
+	s.nextWait = nil
+	s.nextFree = h.freeSvc
+	h.freeSvc = s
+}
+
+// probeRet stages one probe reply back through the bank's port (see
+// sendProbe); pooled so the round trip allocates nothing.
+type probeRet struct {
+	h       *Home
+	rep     msg.ProbeReply
+	onReply func(msg.ProbeReply)
+
+	recvFn   func(msg.ProbeReply)
+	stageFn  func()
+	nextFree *probeRet
+}
+
+func (h *Home) allocProbeRet() *probeRet {
+	pr := h.freeRet
+	if pr == nil {
+		pr = &probeRet{h: h}
+		pr.recvFn = func(rep msg.ProbeReply) {
+			pr.rep = rep
+			pr.h.stage(pr.stageFn)
+		}
+		pr.stageFn = func() {
+			onReply, rep := pr.onReply, pr.rep
+			pr.onReply = nil
+			pr.nextFree = pr.h.freeRet
+			pr.h.freeRet = pr
+			onReply(rep)
+		}
+		return pr
+	}
+	h.freeRet = pr.nextFree
+	pr.nextFree = nil
+	return pr
 }
 
 // NewHome builds the controller for one bank. dir is nil for SWcc-only
@@ -131,7 +296,7 @@ func NewHome(bank int, cfg config.Machine, q *event.Queue, run *stats.Run,
 		probe:    probe,
 		faults:   faults,
 		txns:     make(map[addr.Line]*txn),
-		waiting:  make(map[addr.Line][]waiter),
+		waiting:  make(map[addr.Line]*svc),
 		serviced: make(map[uint64]struct{}),
 	}
 }
@@ -211,7 +376,7 @@ func (h *Home) StuckReport(now event.Cycle) []string {
 				b.WriteString(" (awaiting writeback)")
 			}
 		}
-		if n := len(h.waiting[line]); n > 0 {
+		if n := h.waitDepth(line); n > 0 {
 			fmt.Fprintf(&b, " %d queued", n)
 		}
 		if h.dir != nil {
@@ -230,7 +395,9 @@ func (h *Home) StuckReport(now event.Cycle) []string {
 // HandleReq is the entry point for a request arriving from the network.
 // reply, when non-nil, routes the response back to the requesting L2.
 func (h *Home) HandleReq(req msg.Req, reply func(msg.Resp)) {
-	h.stage(func() { h.process(req, reply) })
+	s := h.allocSvc()
+	s.req, s.reply = req, reply
+	h.stage(s.processFn)
 }
 
 // stage serializes an arriving message through the bank's single port and
@@ -263,42 +430,50 @@ func (h *Home) trace(format string, args ...any) {
 	}
 }
 
-func (h *Home) process(req msg.Req, reply func(msg.Resp)) {
+func (h *Home) process(s *svc) {
+	req := s.req
 	switch req.Kind {
 	case msg.ReqEvict:
+		h.releaseSvc(s)
 		h.handleEvict(req)
 	case msg.ReqSWFlush:
+		reply := s.reply
+		h.releaseSvc(s)
 		h.mergeToL3(req.Line, req.Mask, req.Data)
 		if reply != nil {
 			reply(msg.Resp{Grant: msg.GrantNone})
 		}
 	case msg.ReqReadRel:
+		h.releaseSvc(s)
 		h.handleReadRel(req)
 	default:
 		// Reads, writes, instruction fetches, atomics, and uncached ops all
 		// serialize through the line's transaction slot.
 		if req.ID != 0 && h.alreadyServiced(req.ID) {
+			h.releaseSvc(s)
 			h.dropDup(req)
 			return
 		}
 		if h.txns[req.Line] != nil {
 			if m := h.run.Metrics; m != nil {
-				m.HomeQueueDepth.Observe(uint64(len(h.waiting[req.Line])))
+				m.HomeQueueDepth.Observe(uint64(h.waitDepth(req.Line)))
 			}
-			h.waiting[req.Line] = append(h.waiting[req.Line], waiter{req, reply})
+			h.enqueueWaiter(s)
 			return
 		}
-		h.start(req, reply)
+		h.start(s)
 	}
 }
 
 // start opens the line's transaction slot and runs the request. Callers
 // must have checked that no transaction is in flight.
-func (h *Home) start(req msg.Req, reply func(msg.Resp)) {
+func (h *Home) start(s *svc) {
+	req := s.req
 	line := req.Line
 	if req.ID != 0 && h.alreadyServiced(req.ID) {
 		// A duplicate that queued behind its own original: the original has
 		// completed (and marked the ID) by the time the queue drains here.
+		h.releaseSvc(s)
 		h.dropDup(req)
 		h.drainWaiting(line)
 		return
@@ -307,48 +482,74 @@ func (h *Home) start(req msg.Req, reply func(msg.Resp)) {
 		panic(simerr.Invariant(uint64(h.q.Now()), h.site(), uint64(line.Base()),
 			"transaction collision servicing %v from cluster %d", req.Kind, req.Cluster))
 	}
-	h.txns[line] = &txn{}
-	h.trace("start %v line=%#x cluster=%d", req.Kind, uint64(line), req.Cluster)
-	done := func(resp msg.Resp) {
-		h.trace("done %v line=%#x cluster=%d grant=%v", req.Kind, uint64(line), req.Cluster, resp.Grant)
-		if h.orc != nil {
-			// Value/domain/ownership checks happen at grant time, the same
-			// event that read the store, so the comparison cannot race
-			// in-flight merges or transitions.
-			h.orc.GrantObserved(req, resp)
-		}
-		if req.ID != 0 && resp.Grant != msg.GrantNack {
-			// NACKed transactions are NOT marked: the requester will
-			// retransmit the same ID and must be serviced then.
-			h.markServiced(req.ID)
-		}
-		// Send the response BEFORE retiring the transaction: retiring
-		// drains the next queued request, which may immediately probe the
-		// cluster just granted — the grant must win the (FIFO) link or the
-		// probe would observe the line before its fill arrives.
-		if reply != nil {
-			reply(resp)
-		}
-		h.completeTxn(line)
+	h.txns[line] = h.allocTxn()
+	if h.run.Tracing() || Debug {
+		h.trace("start %v line=%#x cluster=%d", req.Kind, uint64(line), req.Cluster)
 	}
 	switch req.Kind {
 	case msg.ReqRead, msg.ReqWrite, msg.ReqInstr:
-		h.dispatch(req, done)
+		h.dispatch(s)
 	case msg.ReqAtomic, msg.ReqUncStore:
-		h.atomicFlow(req, done)
+		h.atomicFlow(s)
 	case msg.ReqUncLoad:
-		h.dataAccess(req.Line, func([addr.WordsPerLine]uint32) {
-			h.run.Edge(trace.EdgeHomeUncachedAtL3)
-			v := h.store.ReadWord(req.Addr)
-			if h.orc != nil {
-				h.orc.UncLoadObserved(req.Addr, v)
-			}
-			done(msg.Resp{Grant: msg.GrantNone, Value: v})
-		})
+		h.dataAccess(s, s.uncLoadFn)
 	default:
 		panic(simerr.Invariant(uint64(h.q.Now()), h.site(), uint64(line.Base()),
 			"unhandled request kind %v from cluster %d", req.Kind, req.Cluster))
 	}
+}
+
+// finish completes a request's service: it stamps and sends the response,
+// frees the service record, and retires the line's transaction.
+func (h *Home) finish(s *svc, resp msg.Resp) {
+	req, reply := s.req, s.reply
+	resp.ID = req.ID // echo so the requester can discard late aliases
+	if h.run.Tracing() || Debug {
+		h.trace("done %v line=%#x cluster=%d grant=%v", req.Kind, uint64(req.Line), req.Cluster, resp.Grant)
+	}
+	if h.orc != nil {
+		// Value/domain/ownership checks happen at grant time, the same
+		// event that read the store, so the comparison cannot race
+		// in-flight merges or transitions.
+		h.orc.GrantObserved(req, resp)
+	}
+	if req.ID != 0 && resp.Grant != msg.GrantNack {
+		// NACKed transactions are NOT marked: the requester will
+		// retransmit the same ID and must be serviced then.
+		h.markServiced(req.ID)
+	}
+	h.releaseSvc(s)
+	// Send the response BEFORE retiring the transaction: retiring
+	// drains the next queued request, which may immediately probe the
+	// cluster just granted — the grant must win the (FIFO) link or the
+	// probe would observe the line before its fill arrives.
+	if reply != nil {
+		reply(resp)
+	}
+	h.completeTxn(req.Line)
+}
+
+// enqueueWaiter appends the service record to its line's FIFO wait list.
+func (h *Home) enqueueWaiter(s *svc) {
+	s.nextWait = nil
+	head := h.waiting[s.req.Line]
+	if head == nil {
+		h.waiting[s.req.Line] = s
+		return
+	}
+	for head.nextWait != nil {
+		head = head.nextWait
+	}
+	head.nextWait = s
+}
+
+// waitDepth counts the requests queued on a line.
+func (h *Home) waitDepth(line addr.Line) int {
+	n := 0
+	for s := h.waiting[line]; s != nil; s = s.nextWait {
+		n++
+	}
+	return n
 }
 
 // completeTxn retires the line's transaction, unpins its directory entry,
@@ -359,25 +560,29 @@ func (h *Home) completeTxn(line addr.Line) {
 			e.Pinned = false
 		}
 	}
-	delete(h.txns, line)
+	if t := h.txns[line]; t != nil {
+		delete(h.txns, line)
+		t.onWB = nil
+		t.nextFree = h.freeTx
+		h.freeTx = t
+	}
 	h.drainWaiting(line)
 }
 
 // drainWaiting starts the next request queued on the line, if any. The
 // line's transaction slot must be free.
 func (h *Home) drainWaiting(line addr.Line) {
-	ws := h.waiting[line]
-	if len(ws) == 0 {
-		delete(h.waiting, line)
+	s := h.waiting[line]
+	if s == nil {
 		return
 	}
-	w := ws[0]
-	if len(ws) == 1 {
+	if s.nextWait == nil {
 		delete(h.waiting, line)
 	} else {
-		h.waiting[line] = ws[1:]
+		h.waiting[line] = s.nextWait
+		s.nextWait = nil
 	}
-	h.start(w.req, w.reply)
+	h.start(s)
 }
 
 // handleEvict merges a dirty writeback (no transaction slot needed: the
@@ -434,74 +639,75 @@ func (h *Home) addSharer(e *directory.Entry, cluster int) {
 }
 
 // dispatch services a read/write/ifetch holding the line's txn slot.
-func (h *Home) dispatch(req msg.Req, done func(msg.Resp)) {
+func (h *Home) dispatch(s *svc) {
 	if h.dir != nil {
-		if e := h.dir.Lookup(req.Line); e != nil {
+		if e := h.dir.Lookup(s.req.Line); e != nil {
 			e.Pinned = true
-			h.dispatchHWHit(req, done, e)
+			h.dispatchHWHit(s, e)
 			return
 		}
 	}
 	// Directory miss: decide the line's coherence domain.
-	h.domainOf(req.Line, func(sw bool) {
-		if sw {
-			h.run.Edge(trace.EdgeCohGrantIncoherent)
-			h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
-				done(msg.Resp{Grant: msg.GrantIncoherent, HasData: true, Data: data})
-			})
-			return
-		}
-		h.grantFresh(req, done)
-	})
+	h.domainOf(s)
+}
+
+// domainDecided resumes a dispatched directory miss once the line's
+// coherence domain is known (domainOf may have gone to the region table).
+func (h *Home) domainDecided(s *svc, sw bool) {
+	if sw {
+		h.run.Edge(trace.EdgeCohGrantIncoherent)
+		s.grant = msg.GrantIncoherent
+		h.dataAccess(s, s.grantDataFn)
+		return
+	}
+	h.grantFresh(s)
 }
 
 // grantFresh allocates a directory entry for an untracked HWcc line and
 // grants the request.
-func (h *Home) grantFresh(req msg.Req, done func(msg.Resp)) {
+func (h *Home) grantFresh(s *svc) {
+	req := s.req
 	if h.faults != nil && req.ID != 0 && h.faults.NackAlloc() {
 		h.run.NacksSent++
 		h.run.Edge(trace.EdgeRecNackInjected)
 		h.trace("nack (injected) %v line=%#x cluster=%d", req.Kind, uint64(req.Line), req.Cluster)
-		done(msg.Resp{Grant: msg.GrantNack})
+		h.finish(s, msg.Resp{Grant: msg.GrantNack})
 		return
 	}
 	var nack func()
 	if h.cfg.DirNackOnCapacity && req.ID != 0 {
-		nack = func() {
-			h.run.NacksSent++
-			h.run.Edge(trace.EdgeDirCapacityNack)
-			h.trace("nack (capacity) %v line=%#x cluster=%d", req.Kind, uint64(req.Line), req.Cluster)
-			done(msg.Resp{Grant: msg.GrantNack})
-		}
+		nack = s.nackFn
 	}
-	h.allocEntry(req.Line, nack, func(e *directory.Entry) {
-		grant := msg.GrantShared
-		if req.Kind == msg.ReqWrite {
-			e.State = directory.Modified
-			e.Owner = req.Cluster
-			grant = msg.GrantModified
-			h.run.Edge(trace.EdgeHomeWriteMissAllocM)
-		} else {
-			e.State = directory.Shared
-			h.run.Edge(trace.EdgeHomeReadMissAllocS)
-		}
-		h.addSharer(e, req.Cluster)
-		h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
-			done(msg.Resp{Grant: grant, HasData: true, Data: data})
-		})
-	})
+	h.allocEntry(req.Line, nack, s.allocDoneFn)
+}
+
+// allocDone finishes grantFresh once a directory entry is allocated.
+func (h *Home) allocDone(s *svc, e *directory.Entry) {
+	req := s.req
+	if req.Kind == msg.ReqWrite {
+		e.State = directory.Modified
+		e.Owner = req.Cluster
+		s.grant = msg.GrantModified
+		h.run.Edge(trace.EdgeHomeWriteMissAllocM)
+	} else {
+		e.State = directory.Shared
+		s.grant = msg.GrantShared
+		h.run.Edge(trace.EdgeHomeReadMissAllocS)
+	}
+	h.addSharer(e, req.Cluster)
+	h.dataAccess(s, s.grantDataFn)
 }
 
 // dispatchHWHit services a request that hit a (now pinned) directory entry.
-func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entry) {
+func (h *Home) dispatchHWHit(s *svc, e *directory.Entry) {
+	req := s.req
 	switch req.Kind {
 	case msg.ReqRead, msg.ReqInstr:
 		if e.State == directory.Shared {
 			h.run.Edge(trace.EdgeHomeReadHitShared)
 			h.addSharer(e, req.Cluster)
-			h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
-				done(msg.Resp{Grant: msg.GrantShared, HasData: true, Data: data})
-			})
+			s.grant = msg.GrantShared
+			h.dataAccess(s, s.grantDataFn)
 			return
 		}
 		// Modified in another cluster: recall the dirty data, then grant
@@ -509,9 +715,7 @@ func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entr
 		// L3 as the communication point this costs one re-fetch if the old
 		// owner reads again — the paper's rationale for omitting E/O.)
 		h.run.Edge(trace.EdgeHomeReadRecallsM)
-		h.recallEntry(req.Line, e, func() {
-			h.grantFresh(req, done)
-		})
+		h.recallEntry(req.Line, e, s.grantFreshFn)
 
 	case msg.ReqWrite:
 		if e.State == directory.Modified {
@@ -520,51 +724,27 @@ func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entr
 				// retransmission that slipped past dedup. Re-grant in place —
 				// recalling would probe the requester for its own writeback.
 				h.trace("re-grant M line=%#x cluster=%d", uint64(req.Line), req.Cluster)
-				h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
-					done(msg.Resp{Grant: msg.GrantModified, HasData: true, Data: data})
-				})
+				s.grant = msg.GrantModified
+				h.dataAccess(s, s.grantDataFn)
 				return
 			}
 			// Owned dirty by another cluster.
 			h.run.Edge(trace.EdgeHomeWriteRecallsM)
-			h.recallEntry(req.Line, e, func() {
-				h.grantFresh(req, done)
-			})
+			h.recallEntry(req.Line, e, s.grantFreshFn)
 			return
 		}
 		// Shared: invalidate every other sharer, then grant Modified.
-		wasSharer := e.Sharers.Has(req.Cluster)
+		s.dirEntry = e
+		s.wasSharer = e.Sharers.Has(req.Cluster)
 		targets := h.probeTargets(e, req.Cluster)
-		finish := func() {
-			e.State = directory.Modified
-			e.Owner = req.Cluster
-			e.Broadcast = false
-			e.Sharers = directory.Sharers{}
-			h.addSharer(e, req.Cluster)
-			if wasSharer {
-				h.run.Edge(trace.EdgeHomeUpgradeDataless)
-				done(msg.Resp{Grant: msg.GrantModified})
-				return
-			}
-			h.run.Edge(trace.EdgeHomeUpgradeData)
-			h.dataAccess(req.Line, func(data [addr.WordsPerLine]uint32) {
-				done(msg.Resp{Grant: msg.GrantModified, HasData: true, Data: data})
-			})
-		}
 		if len(targets) == 0 {
-			finish()
+			h.upgradeFinish(s)
 			return
 		}
 		h.run.Edge(trace.EdgeHomeUpgradeInv)
-		pending := len(targets)
+		s.pending = len(targets)
 		for _, c := range targets {
-			h.sendProbe(c, msg.Probe{Kind: msg.ProbeInv, Line: req.Line}, func(rep msg.ProbeReply) {
-				h.absorbReplyData(req.Line, rep)
-				pending--
-				if pending == 0 {
-					finish()
-				}
-			})
+			h.sendProbe(c, msg.Probe{Kind: msg.ProbeInv, Line: req.Line}, s.upgradeRepFn)
 		}
 
 	default:
@@ -573,20 +753,40 @@ func (h *Home) dispatchHWHit(req msg.Req, done func(msg.Resp), e *directory.Entr
 	}
 }
 
+// upgradeFinish converts a Shared entry to Modified for the upgrading
+// requester once every other sharer has been invalidated.
+func (h *Home) upgradeFinish(s *svc) {
+	e := s.dirEntry
+	req := s.req
+	s.dirEntry = nil
+	e.State = directory.Modified
+	e.Owner = req.Cluster
+	e.Broadcast = false
+	e.Sharers = directory.Sharers{}
+	h.addSharer(e, req.Cluster)
+	if s.wasSharer {
+		h.run.Edge(trace.EdgeHomeUpgradeDataless)
+		h.finish(s, msg.Resp{Grant: msg.GrantModified})
+		return
+	}
+	h.run.Edge(trace.EdgeHomeUpgradeData)
+	s.grant = msg.GrantModified
+	h.dataAccess(s, s.grantDataFn)
+}
+
 // atomicFlow performs an uncached atomic or uncached store at the L3. If
 // the word's line is hardware-tracked it is recalled first so the
 // operation observes the globally latest value. Writes that land in the
 // fine-grain region table are snooped: changed bits trigger coherence
 // domain transitions, and the requester is not acknowledged until they
 // complete (paper §3.6).
-func (h *Home) atomicFlow(req msg.Req, done func(msg.Resp)) {
+func (h *Home) atomicFlow(s *svc) {
+	req := s.req
 	if h.dir != nil {
 		if e := h.dir.Lookup(req.Line); e != nil {
 			e.Pinned = true
 			h.run.Edge(trace.EdgeHomeAtomicRecall)
-			h.recallEntry(req.Line, e, func() {
-				h.atomicFlow(req, done)
-			})
+			h.recallEntry(req.Line, e, s.atomicRetryFn)
 			return
 		}
 	}
@@ -606,16 +806,14 @@ func (h *Home) atomicFlow(req msg.Req, done func(msg.Resp)) {
 	h.touchL3Word(req.Addr)
 
 	if h.fine != nil && region.InTableRange(req.Addr) && old != next {
-		h.transitionChanged(req.Addr, old^next, next, func(raced bool) {
-			done(msg.Resp{
-				Grant:         msg.GrantNone,
-				Value:         old,
-				RaceException: raced && h.cfg.TrapOnRace,
-			})
-		})
+		// The write went through the store directly; drop the host-side
+		// region-lookup caches layered over the table.
+		h.fine.Invalidate()
+		s.atomicOld = old
+		h.transitionChanged(req.Addr, old^next, next, s.transDoneFn)
 		return
 	}
-	done(msg.Resp{Grant: msg.GrantNone, Value: old})
+	h.finish(s, msg.Resp{Grant: msg.GrantNone, Value: old})
 }
 
 // recallEntry tears down a directory entry under the line's held txn slot:
@@ -624,7 +822,9 @@ func (h *Home) atomicFlow(req msg.Req, done func(msg.Resp)) {
 // current in the L3/store and absent from every L2 — exactly the paper's
 // Figure 7(a) right-hand states.
 func (h *Home) recallEntry(line addr.Line, e *directory.Entry, cont func()) {
-	h.trace("recall line=%#x state=%v owner=%d", uint64(line), e.State, e.Owner)
+	if h.run.Tracing() || Debug {
+		h.trace("recall line=%#x state=%v owner=%d", uint64(line), e.State, e.Owner)
+	}
 	e.Pinned = true
 	if e.State == directory.Modified {
 		owner := e.Owner
@@ -714,7 +914,7 @@ func (h *Home) allocEntry(line addr.Line, nack func(), cont func(*directory.Entr
 	}
 	h.run.DirEvictions++
 	h.run.Edge(trace.EdgeDirCapacityEvict)
-	h.txns[victimLine] = &txn{}
+	h.txns[victimLine] = h.allocTxn()
 	h.recallEntry(victimLine, v, func() {
 		h.completeTxn(victimLine)
 		h.allocEntry(line, nack, cont)
@@ -723,8 +923,11 @@ func (h *Home) allocEntry(line addr.Line, nack func(), cont func(*directory.Entr
 
 // probeTargets lists the clusters to probe for an entry, excluding skip
 // (-1 to exclude none). Overflowed Dir4B entries probe every cluster.
+// The returned slice is the bank's reusable scratch: callers iterate it
+// synchronously (the fan-out loop runs to completion before any other
+// bank code can call probeTargets again) and sendProbe does not retain it.
 func (h *Home) probeTargets(e *directory.Entry, skip int) []int {
-	var out []int
+	out := h.targets[:0]
 	if e.Broadcast {
 		h.run.DirBroadcasts++
 		h.run.Edge(trace.EdgeDirBroadcastProbe)
@@ -733,26 +936,33 @@ func (h *Home) probeTargets(e *directory.Entry, skip int) []int {
 				out = append(out, c)
 			}
 		}
+		h.targets = out
 		return out
 	}
-	e.Sharers.ForEach(func(c int) {
-		if c != skip {
-			out = append(out, c)
+	for wi, w := range e.Sharers {
+		for ; w != 0; w &= w - 1 {
+			if c := wi*64 + bits.TrailingZeros64(w); c != skip {
+				out = append(out, c)
+			}
 		}
-	})
+	}
+	h.targets = out
 	return out
 }
 
+// sendProbe routes a probe to a cluster. The reply is staged back through
+// the bank's port via a pooled probeRet record: a probe reply is a message
+// arriving at the bank like any other and must serialize through the port
+// behind messages that arrived first. Without this, a reply can overtake
+// the same cluster's earlier flush or eviction inside the bank — the
+// network delivered both in send order, but the flush was still sitting in
+// the port pipeline — and a recall would then grant pre-writeback data.
 func (h *Home) sendProbe(cluster int, p msg.Probe, onReply func(msg.ProbeReply)) {
 	h.run.ProbesSent++
-	h.trace("%v line=%#x -> cl%d", p.Kind, uint64(p.Line), cluster)
-	h.probe(cluster, p, func(rep msg.ProbeReply) {
-		// A probe reply is a message arriving at the bank like any other
-		// and must serialize through the port behind messages that arrived
-		// first. Without this, a reply can overtake the same cluster's
-		// earlier flush or eviction inside the bank — the network delivered
-		// both in send order, but the flush was still sitting in the port
-		// pipeline — and a recall would then grant pre-writeback data.
-		h.stage(func() { onReply(rep) })
-	})
+	if h.run.Tracing() || Debug {
+		h.trace("%v line=%#x -> cl%d", p.Kind, uint64(p.Line), cluster)
+	}
+	pr := h.allocProbeRet()
+	pr.onReply = onReply
+	h.probe(cluster, p, pr.recvFn)
 }

@@ -5,19 +5,24 @@ import (
 	"cohesion/internal/cache"
 )
 
-// dataAccess produces the current contents of a line at this bank,
-// charging DRAM timing on an L3 tag miss. The architectural values always
-// live in the backing store (the L3 is modelled write-through value-wise;
-// its tags and dirty bits drive timing and DRAM traffic only).
-func (h *Home) dataAccess(line addr.Line, cont func([addr.WordsPerLine]uint32)) {
+// nopDone is the shared completion for DRAM accesses that need no action
+// when they finish (dirty-victim writebacks).
+func nopDone() {}
+
+// dataAccess produces the current contents of the request's line at this
+// bank, charging DRAM timing on an L3 tag miss, then calls cont (one of
+// the record's prebound continuations — grant-with-data or uncached-load).
+// The architectural values always live in the backing store (the L3 is
+// modelled write-through value-wise; its tags and dirty bits drive timing
+// and DRAM traffic only).
+func (h *Home) dataAccess(s *svc, cont func([addr.WordsPerLine]uint32)) {
+	line := s.req.Line
 	if h.l3.Lookup(line) != nil {
 		cont(h.store.ReadLine(line))
 		return
 	}
-	h.mem.Access(h.bank, line, false, func() {
-		h.installL3(line)
-		cont(h.store.ReadLine(line))
-	})
+	s.dataCont = cont
+	h.mem.Access(h.bank, line, false, s.dataMissFn)
 }
 
 // installL3 allocates a tag for line, paying a DRAM write for a dirty
@@ -28,7 +33,7 @@ func (h *Home) installL3(line addr.Line) {
 	}
 	_, victim, evicted := h.l3.Allocate(line)
 	if evicted && victim.DirtyMask != 0 {
-		h.mem.Access(h.bank, victim.Line, true, func() {})
+		h.mem.Access(h.bank, victim.Line, true, nopDone)
 	}
 }
 
@@ -57,22 +62,17 @@ func (h *Home) touchL3Word(a addr.Addr) {
 	}
 }
 
-// tableAccess reads a fine-grain region table word. When the table is
-// cached in the L3 (the default; the table is outside the L2 coherence
-// protocol so this is safe, paper §3.4) a resident tag answers after the
-// table-port latency; otherwise the read goes to DRAM.
-func (h *Home) tableAccess(wordAddr addr.Addr, cont func(uint32)) {
-	line := addr.LineOf(wordAddr)
-	read := func() { cont(h.store.ReadWord(wordAddr)) }
+// tableAccess reads the record's fine-grain region table word (set in
+// s.tableWord) and resumes via tableRead. When the table is cached in the
+// L3 (the default; the table is outside the L2 coherence protocol so this
+// is safe, paper §3.4) a resident tag answers after the table-port
+// latency; otherwise the read goes to DRAM.
+func (h *Home) tableAccess(s *svc) {
+	line := addr.LineOf(s.tableWord)
 	if h.cfg.TableCachedInL3 && h.l3.Lookup(line) != nil {
 		// Minimum one extra cycle for the serialized table lookup.
-		h.q.After(1, read)
+		h.q.After(1, s.tableReadFn)
 		return
 	}
-	h.mem.Access(h.bank, line, false, func() {
-		if h.cfg.TableCachedInL3 {
-			h.installL3(line)
-		}
-		read()
-	})
+	h.mem.Access(h.bank, line, false, s.tableMissFn)
 }

@@ -9,41 +9,48 @@ import (
 	"cohesion/internal/trace"
 )
 
-// domainOf decides which coherence domain a line with no directory entry
-// belongs to. In SWcc mode everything is software-managed; in HWcc mode
-// everything is hardware-managed; under Cohesion the coarse-grain region
-// table is consulted for free (it is a small on-die structure accessed in
-// parallel with the directory), then the fine-grain in-memory bitmap,
-// whose lookup costs at least an L3 access (paper §3.4).
-func (h *Home) domainOf(line addr.Line, cont func(sw bool)) {
+// domainOf decides which coherence domain the dispatched line (which has
+// no directory entry) belongs to, then resumes via domainDecided. In SWcc
+// mode everything is software-managed; in HWcc mode everything is
+// hardware-managed; under Cohesion the coarse-grain region table is
+// consulted for free (it is a small on-die structure accessed in parallel
+// with the directory), then the fine-grain in-memory bitmap, whose lookup
+// costs at least an L3 access (paper §3.4).
+func (h *Home) domainOf(s *svc) {
 	switch h.cfg.Mode {
 	case config.SWcc:
-		cont(true)
+		h.domainDecided(s, true)
 		return
 	case config.HWcc:
-		cont(false)
+		h.domainDecided(s, false)
 		return
 	}
-	base := line.Base()
+	base := s.req.Line.Base()
 	if h.coarse != nil && h.coarse.Contains(base) {
 		h.run.Edge(trace.EdgeCohDomainCoarse)
-		cont(true)
+		h.domainDecided(s, true)
 		return
 	}
 	if h.fine == nil {
-		cont(false)
+		h.domainDecided(s, false)
 		return
 	}
-	wa := region.TblWordAddr(base, h.cfg.L3Banks)
-	h.tableAccess(wa, func(word uint32) {
-		sw := word&(1<<region.TblBitIndex(base)) != 0
-		if sw {
-			h.run.Edge(trace.EdgeCohDomainFineSW)
-		} else {
-			h.run.Edge(trace.EdgeCohDomainFineHW)
-		}
-		cont(sw)
-	})
+	s.tableWord = region.TblWordAddr(base, h.cfg.L3Banks)
+	h.tableAccess(s)
+}
+
+// tableRead finishes a fine-grain table consultation: it reads the word
+// (now resident or timed), extracts the line's bit, and resumes dispatch.
+func (h *Home) tableRead(s *svc) {
+	base := s.req.Line.Base()
+	word := h.store.ReadWord(s.tableWord)
+	sw := word&(1<<region.TblBitIndex(base)) != 0
+	if sw {
+		h.run.Edge(trace.EdgeCohDomainFineSW)
+	} else {
+		h.run.Edge(trace.EdgeCohDomainFineHW)
+	}
+	h.domainDecided(s, sw)
 }
 
 // transitionChanged runs the coherence-domain transitions for every table
@@ -98,7 +105,7 @@ func (h *Home) acquireLine(line addr.Line, body func()) {
 		h.q.After(retryDelay, func() { h.acquireLine(line, body) })
 		return
 	}
-	h.txns[line] = &txn{}
+	h.txns[line] = h.allocTxn()
 	body()
 }
 

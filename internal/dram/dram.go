@@ -11,17 +11,39 @@
 package dram
 
 import (
-	"sort"
+	"math/bits"
+	"slices"
 
 	"cohesion/internal/addr"
 	"cohesion/internal/event"
 	"cohesion/internal/stats"
 )
 
+// Geometry of the dense fine-grain-table segment.
+const (
+	tblWords = addr.TableBytes / addr.WordBytes
+	tblLines = addr.TableBytes / addr.LineBytes
+	tblLine0 = addr.Line(addr.TableBase >> addr.LineShift)
+)
+
 // Store holds the architectural contents of memory, one 32-bit word at a
 // time, organized by cache line. Lines never written read as zero.
+//
+// The fine-grain region table segment [addr.TableBase, +TableBytes) is
+// held densely instead of in the line map: Cohesion presets table words
+// covering the whole incoherent heap at load time, which would swamp the
+// map (and the address-ordered fingerprint walk) with tens of thousands
+// of lines. The dense arrays are allocated lazily on the first
+// table-range write, so SWcc/HWcc machines never pay for them. The two
+// representations are observationally identical: Lines, ReadLine,
+// LinesTouched, and Fingerprint present the merged image in address
+// order, with a table line participating once any of its words has been
+// written (even with zero), exactly as a map entry would.
 type Store struct {
 	lines map[addr.Line]*[addr.WordsPerLine]uint32
+
+	tbl        []uint32 // table words, indexed by (addr-TableBase)/WordBytes
+	tblWritten []uint64 // one bit per table line: line has been written
 }
 
 // NewStore returns an empty memory image.
@@ -29,8 +51,27 @@ func NewStore() *Store {
 	return &Store{lines: make(map[addr.Line]*[addr.WordsPerLine]uint32)}
 }
 
+// inTable reports whether a falls in the dense table segment.
+func inTable(a addr.Addr) bool {
+	return a >= addr.TableBase && a-addr.TableBase < addr.TableBytes
+}
+
+// ensureTbl allocates the dense segment on first table-range write.
+func (s *Store) ensureTbl() {
+	if s.tbl == nil {
+		s.tbl = make([]uint32, tblWords)
+		s.tblWritten = make([]uint64, tblLines/64)
+	}
+}
+
 // ReadWord returns the word containing address a.
 func (s *Store) ReadWord(a addr.Addr) uint32 {
+	if inTable(a) {
+		if s.tbl == nil {
+			return 0
+		}
+		return s.tbl[(a-addr.TableBase)>>addr.WordShift]
+	}
 	l := s.lines[addr.LineOf(a)]
 	if l == nil {
 		return 0
@@ -40,6 +81,14 @@ func (s *Store) ReadWord(a addr.Addr) uint32 {
 
 // WriteWord stores v into the word containing address a.
 func (s *Store) WriteWord(a addr.Addr, v uint32) {
+	if inTable(a) {
+		s.ensureTbl()
+		off := a - addr.TableBase
+		s.tbl[off>>addr.WordShift] = v
+		li := uint(off >> addr.LineShift)
+		s.tblWritten[li/64] |= 1 << (li % 64)
+		return
+	}
 	line := addr.LineOf(a)
 	l := s.lines[line]
 	if l == nil {
@@ -51,6 +100,14 @@ func (s *Store) WriteWord(a addr.Addr, v uint32) {
 
 // ReadLine copies the full contents of a line.
 func (s *Store) ReadLine(line addr.Line) [addr.WordsPerLine]uint32 {
+	if base := line.Base(); inTable(base) {
+		var out [addr.WordsPerLine]uint32
+		if s.tbl != nil {
+			w0 := (base - addr.TableBase) >> addr.WordShift
+			copy(out[:], s.tbl[w0:w0+addr.WordsPerLine])
+		}
+		return out
+	}
 	if l := s.lines[line]; l != nil {
 		return *l
 	}
@@ -65,6 +122,18 @@ func (s *Store) MergeLine(line addr.Line, mask uint8, data [addr.WordsPerLine]ui
 	if mask == 0 {
 		return
 	}
+	if base := line.Base(); inTable(base) {
+		s.ensureTbl()
+		w0 := (base - addr.TableBase) >> addr.WordShift
+		for w := 0; w < addr.WordsPerLine; w++ {
+			if mask&(1<<w) != 0 {
+				s.tbl[w0+addr.Addr(w)] = data[w]
+			}
+		}
+		li := uint(line - tblLine0)
+		s.tblWritten[li/64] |= 1 << (li % 64)
+		return
+	}
 	l := s.lines[line]
 	if l == nil {
 		l = new([addr.WordsPerLine]uint32)
@@ -77,18 +146,83 @@ func (s *Store) MergeLine(line addr.Line, mask uint8, data [addr.WordsPerLine]ui
 	}
 }
 
+// tblLinesTouched counts written table lines.
+func (s *Store) tblLinesTouched() int {
+	n := 0
+	for _, w := range s.tblWritten {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
 // LinesTouched reports how many distinct lines have ever been written.
-func (s *Store) LinesTouched() int { return len(s.lines) }
+func (s *Store) LinesTouched() int { return len(s.lines) + s.tblLinesTouched() }
 
 // Lines returns every written line in address order (the checkpoint layer
 // serializes the image line by line).
 func (s *Store) Lines() []addr.Line {
-	lines := make([]addr.Line, 0, len(s.lines))
+	lines := make([]addr.Line, 0, len(s.lines)+s.tblLinesTouched())
 	for line := range s.lines {
 		lines = append(lines, line)
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	slices.Sort(lines)
+	// The table segment is the top of the address space: every written
+	// table line sorts after every map line.
+	for wi, w := range s.tblWritten {
+		for ; w != 0; w &= w - 1 {
+			li := wi*64 + bits.TrailingZeros64(w)
+			lines = append(lines, tblLine0+addr.Line(li))
+		}
+	}
 	return lines
+}
+
+// fnv64Prime and fnv64Offset are the FNV-1a constants for the fingerprint.
+const (
+	fnv64Prime  = 1099511628211
+	fnv64Offset = 14695981039346656037
+)
+
+// fnv64Prime4 is fnv64Prime^4 mod 2^64: mixing a zero byte is
+// h = (h^0)*p = h*p, so a run of four zero bytes is one multiply.
+var fnv64Prime4 = func() uint64 {
+	p := uint64(fnv64Prime)
+	return p * p * p * p
+}()
+
+// mixLine folds one line (its number, then its eight words) into the
+// running FNV-1a state. The digest is defined byte by byte,
+// little-endian, with both the line number and each word widened to
+// eight bytes; the zero upper halves collapse into multiplies by
+// fnv64Prime4, which is bit-identical to the byte loop and roughly
+// halves the serial chain (the Cohesion table preset makes end-of-run
+// fingerprints mix ~32K table lines, so this is hot).
+func mixLine(h uint64, line addr.Line, words *[addr.WordsPerLine]uint32) uint64 {
+	v := uint64(line)
+	for i := 0; i < 4; i++ {
+		h ^= v & 0xff
+		h *= fnv64Prime
+		v >>= 8
+	}
+	if v == 0 { // always, in a 32-bit address space
+		h *= fnv64Prime4
+	} else {
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= fnv64Prime
+			v >>= 8
+		}
+	}
+	for _, w := range words {
+		v = uint64(w)
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= fnv64Prime
+			v >>= 8
+		}
+		h *= fnv64Prime4 // bytes 4..7 of the widened word are zero
+	}
+	return h
 }
 
 // Fingerprint digests the full memory image (FNV-1a over lines in address
@@ -99,20 +233,20 @@ func (s *Store) Fingerprint() uint64 {
 	for line := range s.lines {
 		lines = append(lines, line)
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime
-			v >>= 8
-		}
-	}
+	slices.Sort(lines)
+	h := uint64(fnv64Offset)
 	for _, line := range lines {
-		mix(uint64(line))
-		for _, w := range s.lines[line] {
-			mix(uint64(w))
+		h = mixLine(h, line, s.lines[line])
+	}
+	// Table lines sort after everything in the map (top of the address
+	// space), so they are mixed last, in ascending order.
+	var buf [addr.WordsPerLine]uint32
+	for wi, w := range s.tblWritten {
+		for ; w != 0; w &= w - 1 {
+			li := wi*64 + bits.TrailingZeros64(w)
+			w0 := li * addr.WordsPerLine
+			copy(buf[:], s.tbl[w0:w0+addr.WordsPerLine])
+			h = mixLine(h, tblLine0+addr.Line(li), &buf)
 		}
 	}
 	return h

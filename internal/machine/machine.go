@@ -43,8 +43,20 @@ type Machine struct {
 	Coarse   *region.CoarseTable
 	Fine     *region.FineTable
 
+	// RegionCaches holds one host-side fine-table lookup cache per cluster
+	// (Cohesion mode only; nil otherwise). The runtime's FlushIfSWcc /
+	// InvIfSWcc answer domain queries through the querying cluster's cache;
+	// CheckInvariants verifies live entries against the table at quiescence.
+	RegionCaches []*region.Cache
+
 	faults *fault.Plan    // nil unless Cfg.Faults.Enabled
 	oracle *oracle.Oracle // nil unless Cfg.OracleEnabled
+
+	// Free lists for the pooled network-delivery records (see netReq /
+	// netProbe); steady-state request and probe traffic recycles them
+	// instead of allocating a closure per network hop.
+	freeReq   *netReq
+	freeProbe *netProbe
 
 	activeCores  int
 	started      int
@@ -60,7 +72,7 @@ type Machine struct {
 	// ckpt, when set via SetCheckpointFunc, is invoked between events
 	// whenever the controller's deterministic checkpoint schedule comes
 	// due, and once more before a lifecycle stop returns (while program
-	// goroutines are still parked, before Shutdown).
+	// coroutines are still parked, before Shutdown).
 	ckpt func(events, cycle uint64) error
 }
 
@@ -137,11 +149,143 @@ func New(cfg config.Machine) (*Machine, error) {
 		}
 		m.Clusters = append(m.Clusters, cl)
 	}
+	if m.Fine != nil {
+		m.RegionCaches = make([]*region.Cache, cfg.Clusters)
+		for c := range m.RegionCaches {
+			m.RegionCaches[c] = region.NewCache(m.Fine)
+		}
+	}
 	return m, nil
 }
 
 // Oracle returns the online coherence oracle, or nil when disabled.
 func (m *Machine) Oracle() *oracle.Oracle { return m.oracle }
+
+// nop is the shared no-op completion for deliveries whose arrival needs
+// no action (dropped requests occupy their links but never arrive).
+func nop() {}
+
+// netReq carries one request delivery across the interconnect and its
+// response back, replacing the four closures the round trip used to
+// allocate. Records are pooled on the machine: the continuation funcs are
+// bound once per record and the per-delivery state (request, response,
+// route) is rewritten on reuse. A record is freed when its response is
+// delivered — or, for one-way traffic (evictions, releases), as soon as
+// it arrives at the bank. The rare fault-injected duplicate delivery gets
+// its own record; if the home dedups it without replying, that record is
+// simply dropped to the garbage collector rather than returned.
+type netReq struct {
+	m         *Machine
+	bank      int
+	clusterID int
+	req       msg.Req
+	onResp    func(msg.Resp)
+	resp      msg.Resp
+
+	deliverFn     func()         // fires at the bank: hand to the home
+	replyFn       func(msg.Resp) // home's reply: route the response back
+	deliverRespFn func()         // fires at the cluster: complete onResp
+
+	nextFree *netReq
+}
+
+func (m *Machine) allocNetReq() *netReq {
+	r := m.freeReq
+	if r == nil {
+		r = &netReq{m: m}
+		r.deliverFn = func() { r.deliver() }
+		r.replyFn = func(resp msg.Resp) { r.reply(resp) }
+		r.deliverRespFn = func() { r.deliverResp() }
+		return r
+	}
+	m.freeReq = r.nextFree
+	r.nextFree = nil
+	return r
+}
+
+func (m *Machine) freeNetReq(r *netReq) {
+	r.onResp = nil
+	r.nextFree = m.freeReq
+	m.freeReq = r
+}
+
+func (r *netReq) deliver() {
+	if r.onResp == nil {
+		// One-way message: free the record before handing off (HandleReq
+		// stages its work, so nothing here runs under the home's lock-step).
+		m, bank, req := r.m, r.bank, r.req
+		m.freeNetReq(r)
+		m.Homes[bank].HandleReq(req, nil)
+		return
+	}
+	r.m.Homes[r.bank].HandleReq(r.req, r.replyFn)
+}
+
+func (r *netReq) reply(resp msg.Resp) {
+	r.resp = resp
+	r.m.Net.ToCluster(r.bank, r.clusterID, resp.Bytes(), r.deliverRespFn)
+}
+
+func (r *netReq) deliverResp() {
+	// Free before completing: the continuation may synchronously issue a
+	// follow-up request that reuses this record.
+	onResp, resp := r.onResp, r.resp
+	r.m.freeNetReq(r)
+	onResp(resp)
+}
+
+// netProbe is netReq's analogue for directory probes (home → cluster →
+// counted reply → home).
+type netProbe struct {
+	m         *Machine
+	bank      int
+	clusterID int
+	p         msg.Probe
+	onReply   func(msg.ProbeReply)
+	rep       msg.ProbeReply
+
+	deliverFn    func()               // fires at the cluster: HandleProbe
+	replyFn      func(msg.ProbeReply) // cluster's reply: count + route back
+	deliverRepFn func()               // fires at the bank: complete onReply
+
+	nextFree *netProbe
+}
+
+func (m *Machine) allocNetProbe() *netProbe {
+	pr := m.freeProbe
+	if pr == nil {
+		pr = &netProbe{m: m}
+		pr.deliverFn = func() { pr.deliver() }
+		pr.replyFn = func(rep msg.ProbeReply) { pr.reply(rep) }
+		pr.deliverRepFn = func() { pr.deliverRep() }
+		return pr
+	}
+	m.freeProbe = pr.nextFree
+	pr.nextFree = nil
+	return pr
+}
+
+func (m *Machine) freeNetProbe(pr *netProbe) {
+	pr.onReply = nil
+	pr.nextFree = m.freeProbe
+	m.freeProbe = pr
+}
+
+func (pr *netProbe) deliver() {
+	pr.m.Clusters[pr.clusterID].HandleProbe(pr.p, pr.replyFn)
+}
+
+func (pr *netProbe) reply(rep msg.ProbeReply) {
+	pr.m.Run.CountMessage(msg.ProbeResp)
+	pr.rep = rep
+	pr.m.Net.ToBank(pr.clusterID, pr.bank, rep.Bytes(), pr.deliverRepFn)
+}
+
+func (pr *netProbe) deliverRep() {
+	onReply, rep := pr.onReply, pr.rep
+	pr.m.freeNetProbe(pr)
+	onReply(rep)
+}
 
 // deliverReq routes an L2 request to its line's home bank over the network
 // and routes the response back. When fault injection is enabled, retryable
@@ -150,44 +294,34 @@ func (m *Machine) Oracle() *oracle.Oracle { return m.oracle }
 // absorb both.
 func (m *Machine) deliverReq(clusterID int, req msg.Req, onResp func(msg.Resp)) {
 	bank := region.HomeBankOfLine(req.Line, m.Cfg.L3Banks)
-	h := m.Homes[bank]
-	deliver := func() {
-		var reply func(msg.Resp)
-		if onResp != nil {
-			reply = func(resp msg.Resp) {
-				m.Net.ToCluster(bank, clusterID, resp.Bytes(), func() { onResp(resp) })
-			}
-		}
-		h.HandleReq(req, reply)
-	}
 	if m.faults != nil && req.Kind.Retryable() && req.ID != 0 {
 		switch m.faults.RequestVerdict() {
 		case fault.Drop:
 			m.Run.Edge(trace.EdgeRecNetDrop)
 			m.Run.TraceEvent(uint64(m.Q.Now()), "net", "drop %v line=%#x cl%d id=%#x",
 				req.Kind, uint64(req.Line.Base()), clusterID, req.ID)
-			m.Net.ToBank(clusterID, bank, req.Bytes(), func() {})
+			m.Net.ToBank(clusterID, bank, req.Bytes(), nop)
 			return
 		case fault.Duplicate:
 			m.Run.Edge(trace.EdgeRecNetDup)
 			m.Run.TraceEvent(uint64(m.Q.Now()), "net", "dup %v line=%#x cl%d id=%#x",
 				req.Kind, uint64(req.Line.Base()), clusterID, req.ID)
-			m.Net.ToBank(clusterID, bank, req.Bytes(), deliver)
+			dup := m.allocNetReq()
+			dup.bank, dup.clusterID, dup.req, dup.onResp = bank, clusterID, req, onResp
+			m.Net.ToBank(clusterID, bank, req.Bytes(), dup.deliverFn)
 		}
 	}
-	m.Net.ToBank(clusterID, bank, req.Bytes(), deliver)
+	r := m.allocNetReq()
+	r.bank, r.clusterID, r.req, r.onResp = bank, clusterID, req, onResp
+	m.Net.ToBank(clusterID, bank, req.Bytes(), r.deliverFn)
 }
 
 // deliverProbe routes a directory probe to a cluster and its (counted)
 // reply back to the home bank.
 func (m *Machine) deliverProbe(bank, clusterID int, p msg.Probe, onReply func(msg.ProbeReply)) {
-	cl := m.Clusters[clusterID]
-	m.Net.ToCluster(bank, clusterID, msg.CtrlBytes, func() {
-		cl.HandleProbe(p, func(rep msg.ProbeReply) {
-			m.Run.CountMessage(msg.ProbeResp)
-			m.Net.ToBank(clusterID, bank, rep.Bytes(), func() { onReply(rep) })
-		})
-	})
+	pr := m.allocNetProbe()
+	pr.bank, pr.clusterID, pr.p, pr.onReply = bank, clusterID, p, onReply
+	m.Net.ToCluster(bank, clusterID, msg.CtrlBytes, pr.deliverFn)
 }
 
 // AddCoarseRegion registers a permanently software-coherent range in the
@@ -255,8 +389,8 @@ func (m *Machine) Simulate(maxCycles uint64) error {
 // deterministic stops are tagged non-reproducible in the diagnostic.
 func (m *Machine) SimulateCtx(ctx context.Context, maxCycles uint64, lim runctl.Limits) (err error) {
 	// Registered first so it runs after the recover defer below has
-	// settled err: an abnormal end leaves program goroutines blocked in
-	// Do, and Shutdown releases and joins them before Simulate returns.
+	// settled err: an abnormal end leaves program coroutines parked in
+	// Do, and Shutdown winds them down before Simulate returns.
 	defer func() {
 		m.Run.Events = m.Q.Fired()
 		if err != nil {
@@ -301,7 +435,7 @@ func (m *Machine) SimulateCtx(ctx context.Context, maxCycles uint64, lim runctl.
 				if m.ckpt != nil {
 					// Checkpoint-on-stop: capture the partial state before
 					// abortError stamps the stats and before the deferred
-					// Shutdown tears the core goroutines down, so the
+					// Shutdown tears the core coroutines down, so the
 					// snapshot is bit-identical to a periodic checkpoint at
 					// the same event count. A failed write must not mask
 					// the stop sentinel.
@@ -334,10 +468,10 @@ func (m *Machine) SimulateCtx(ctx context.Context, maxCycles uint64, lim runctl.
 	return nil
 }
 
-// Shutdown releases program goroutines left blocked mid-operation by an
-// aborted run and joins them. Simulate calls it on every abnormal-end
-// path; it is idempotent and safe to call again from library users that
-// abandon a machine without simulating it to quiescence.
+// Shutdown winds down program coroutines left parked mid-operation by an
+// aborted run. Simulate calls it on every abnormal-end path; it is
+// idempotent and safe to call again from library users that abandon a
+// machine without simulating it to quiescence.
 func (m *Machine) Shutdown() {
 	for _, cl := range m.Clusters {
 		cl.Shutdown()
@@ -506,6 +640,11 @@ func (m *Machine) DrainToMemory() {
 //     domain: under Cohesion an incoherent line's region-table state must
 //     say SWcc, a coherent line's must say HWcc.
 func (m *Machine) CheckInvariants() error {
+	for c, rc := range m.RegionCaches {
+		if err := rc.Check(); err != nil {
+			return fmt.Errorf("cluster %d: %w", c, err)
+		}
+	}
 	if m.oracle != nil {
 		// The oracle's domain model must agree with the region tables at
 		// quiescence (runs for every mode, including directory-less SWcc).

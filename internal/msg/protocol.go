@@ -204,6 +204,12 @@ type Resp struct {
 	Data    [addr.WordsPerLine]uint32
 	Value   uint32 // atomic/uncached-load result
 
+	// ID echoes the transaction ID of the request being answered (0 for
+	// untracked requests). The requesting L2 uses it to discard late
+	// responses that would otherwise alias a recycled transaction record
+	// on the same line.
+	ID uint64
+
 	// RaceException is set on a region-table write's acknowledgement when
 	// a SW-to-HW transition detected the Figure 7 Case 5b software race
 	// and the machine is configured to trap on it.

@@ -1,0 +1,107 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+
+	"cohesion/internal/addr"
+	"cohesion/internal/dram"
+)
+
+// TestCacheMatchesTable drives random lookups interleaved with random
+// mutations and requires the cached answer to equal an uncached table read
+// every time, with Check passing throughout.
+func TestCacheMatchesTable(t *testing.T) {
+	ft := NewFineTable(dram.NewStore(), 4)
+	c := NewCache(ft)
+	rng := rand.New(rand.NewSource(7))
+	span := uint64(1 << 20)
+	randAddr := func() addr.Addr {
+		return addr.CohHeapBase + addr.Addr(rng.Uint64()%span)
+	}
+	for i := 0; i < 20000; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			ft.Set(randAddr())
+		case 1:
+			ft.Clear(randAddr())
+		case 2:
+			base := randAddr() &^ (addr.LineBytes - 1)
+			ft.SetRange(addr.Range{Base: base, Size: uint64(rng.Intn(4096) + 1)})
+		default:
+			a := randAddr()
+			if got, want := c.IsSWcc(a), ft.IsSWcc(a); got != want {
+				t.Fatalf("lookup %d: cache says %v, table says %v for %#x", i, got, want, uint64(a))
+			}
+		}
+		if err := c.Check(); err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+	}
+	if c.Hits == 0 || c.Misses == 0 {
+		t.Fatalf("degenerate traffic: %d hits, %d misses", c.Hits, c.Misses)
+	}
+}
+
+// TestCacheInvalidate covers the directory's out-of-band path: a snooped
+// table write mutates the store directly, then Invalidate must drop the
+// stale entry.
+func TestCacheInvalidate(t *testing.T) {
+	store := dram.NewStore()
+	ft := NewFineTable(store, 4)
+	c := NewCache(ft)
+	a := addr.CohHeapBase + 0x400
+	if c.IsSWcc(a) {
+		t.Fatal("line SWcc before any set")
+	}
+	// Write the table word behind the cache's back, as the home bank does
+	// when it applies a snooped atomic.
+	wa := TblWordAddr(a, 4)
+	store.WriteWord(wa, store.ReadWord(wa)|1<<TblBitIndex(a))
+	if c.IsSWcc(a) {
+		t.Fatal("cache observed an unannounced write") // still caching the old word
+	}
+	ft.Invalidate()
+	if !c.IsSWcc(a) {
+		t.Fatal("cache survived Invalidate")
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheCheckDetectsCorruption corrupts a live entry and requires Check
+// to fail — the quiescence invariant CheckInvariants relies on.
+func TestCacheCheckDetectsCorruption(t *testing.T) {
+	ft := NewFineTable(dram.NewStore(), 4)
+	c := NewCache(ft)
+	a := addr.CohHeapBase + 0x1234
+	ft.Set(a)
+	if !c.IsSWcc(a) {
+		t.Fatal("set line not SWcc")
+	}
+	for i := range c.tags {
+		if c.tags[i] != 0 {
+			c.words[i] ^= 1 << 31
+		}
+	}
+	if err := c.Check(); err == nil {
+		t.Fatal("Check accepted a corrupted entry")
+	}
+}
+
+// TestCacheHitSharing verifies the block granularity: lines within one
+// 1 KB block share an entry, so 32 sequential line lookups cost one miss.
+func TestCacheHitSharing(t *testing.T) {
+	ft := NewFineTable(dram.NewStore(), 4)
+	ft.SetRange(addr.Range{Base: addr.CohHeapBase, Size: 1 << 10})
+	c := NewCache(ft)
+	for off := addr.Addr(0); off < 1<<10; off += addr.LineBytes {
+		if !c.IsSWcc(addr.CohHeapBase + off) {
+			t.Fatalf("offset %#x not SWcc", uint64(off))
+		}
+	}
+	if c.Misses != 1 || c.Hits != 31 {
+		t.Fatalf("expected 1 miss + 31 hits, got %d misses, %d hits", c.Misses, c.Hits)
+	}
+}

@@ -180,8 +180,8 @@ func (r *Runtime) ReadF32(a addr.Addr) float32     { return math.Float32frombits
 
 // --- worker contexts ---
 
-// Ctx is the per-worker handle kernels program against. All methods block
-// the calling program goroutine until the simulated operation completes.
+// Ctx is the per-worker handle kernels program against. All methods park
+// the calling program coroutine until the simulated operation completes.
 type Ctx struct {
 	rt       *Runtime
 	c        *cluster.Core
@@ -192,7 +192,7 @@ type Ctx struct {
 }
 
 // Spawn starts a worker program on the given global core. The body runs
-// on its own goroutine inside the simulation; all workers must reach the
+// as a coroutine inside the simulation; all workers must reach the
 // same sequence of Barrier/ParallelFor calls.
 func (r *Runtime) Spawn(coreID int, codeBytes int, body func(x *Ctx)) {
 	r.M.StartProgram(coreID, func(c *cluster.Core) {
@@ -269,33 +269,63 @@ func (x *Ctx) InvLine(a addr.Addr) {
 }
 
 // FlushRange writes back every line of [base, base+size) (eager writeback
-// of task output data, paper Fig 3).
+// of task output data, paper Fig 3). The line walk is inline — no slice of
+// covered lines is materialized on this hot path.
 func (x *Ctx) FlushRange(base addr.Addr, size uint64) {
-	for _, l := range addr.LinesCovering(base, size) {
-		x.FlushLine(l.Base())
+	if size == 0 {
+		return
+	}
+	for a, end := addr.LineAlign(base), base+addr.Addr(size); a < end; a += addr.LineBytes {
+		x.FlushLine(a)
 	}
 }
 
 // InvRange invalidates every line of [base, base+size) (lazy invalidation
 // of input data, paper Fig 3).
 func (x *Ctx) InvRange(base addr.Addr, size uint64) {
-	for _, l := range addr.LinesCovering(base, size) {
-		x.InvLine(l.Base())
+	if size == 0 {
+		return
 	}
+	for a, end := addr.LineAlign(base), base+addr.Addr(size); a < end; a += addr.LineBytes {
+		x.InvLine(a)
+	}
+}
+
+// IsSWccDomain is Runtime.IsSWccDomain answered through the worker's
+// cluster region-lookup cache: under Cohesion a fine-table consultation
+// hits the small per-cluster cache instead of re-deriving the table-word
+// permutation and reading the backing store on every call. Both paths are
+// host-side (no simulated cycles); the cached answer is kept consistent by
+// the table's mutation generation.
+func (x *Ctx) IsSWccDomain(a addr.Addr) bool {
+	r := x.rt
+	switch r.M.Cfg.Mode {
+	case config.SWcc:
+		return true
+	case config.HWcc:
+		return false
+	}
+	if r.M.Coarse != nil && r.M.Coarse.Contains(a) {
+		return true
+	}
+	if caches := r.M.RegionCaches; len(caches) > 0 {
+		return caches[x.c.ID/r.M.Cfg.CoresPerCluster].IsSWcc(a)
+	}
+	return r.M.Fine != nil && r.M.Fine.IsSWcc(a)
 }
 
 // FlushIfSWcc flushes the range only when it lives in the SWcc domain —
 // the Cohesion variant of a kernel keeps its coherence instructions only
 // for software-managed data (paper §4.1).
 func (x *Ctx) FlushIfSWcc(base addr.Addr, size uint64) {
-	if x.rt.IsSWccDomain(base) {
+	if x.IsSWccDomain(base) {
 		x.FlushRange(base, size)
 	}
 }
 
 // InvIfSWcc invalidates the range only when it lives in the SWcc domain.
 func (x *Ctx) InvIfSWcc(base addr.Addr, size uint64) {
-	if x.rt.IsSWccDomain(base) {
+	if x.IsSWccDomain(base) {
 		x.InvRange(base, size)
 	}
 }
