@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-short bench-check microbench experiments examples fmt vet cover clean
+.PHONY: all build test race serve serve-test bench bench-short bench-check microbench experiments examples fmt vet cover clean
 
 all: build test
 
@@ -15,6 +15,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Run the job service locally (state under ./serve-state; Ctrl-C drains).
+serve:
+	$(GO) run ./cmd/cohesion-serve -addr 127.0.0.1:8080 -state serve-state
+
+# The serving-layer test battery: unit, e2e, load, and crash/restart,
+# all under the race detector (what CI's serve-robustness job runs).
+serve-test:
+	$(GO) test -race -run 'TestServe|TestRunner|TestClamp' -timeout 15m \
+		. ./internal/serve/ ./internal/pool/ ./internal/runctl/
 
 # Performance-tracking harness: event-engine ns+allocs/event, per-kernel
 # events/sec, the per-subsystem allocation breakdown, and the

@@ -1,0 +1,91 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Runner is the persistent sibling of Do: a fixed group of worker
+// goroutines draining a bounded FIFO queue for the life of a service.
+// Where Do fans one batch out and joins, a Runner accepts work for as
+// long as it is open and applies backpressure by refusing — TrySubmit
+// never blocks, so a saturated service sheds load (HTTP 429) instead of
+// queuing unboundedly. Item order is FIFO per queue; assignment of items
+// to workers is racy, exactly as with Do, so the processing function must
+// own all the state it touches for one item.
+type Runner[T any] struct {
+	queue    chan T
+	process  func(T)
+	inflight atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewRunner starts workers goroutines (at least one) draining a queue of
+// the given depth. A depth of 0 makes TrySubmit succeed only when a
+// worker is free to take the item immediately.
+func NewRunner[T any](workers, depth int, process func(T)) *Runner[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	r := &Runner[T]{queue: make(chan T, depth), process: process}
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer r.wg.Done()
+			for v := range r.queue {
+				r.inflight.Add(1)
+				func() {
+					defer r.inflight.Add(-1)
+					r.process(v)
+				}()
+			}
+		}()
+	}
+	return r
+}
+
+// TrySubmit enqueues v, or reports false without blocking when the queue
+// is full or the runner is closed. A false return is the backpressure
+// signal: the caller decides whether to retry, reject, or drop.
+func (r *Runner[T]) TrySubmit(v T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	select {
+	case r.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueLen is the number of items accepted but not yet taken by a worker.
+func (r *Runner[T]) QueueLen() int { return len(r.queue) }
+
+// Cap is the queue depth TrySubmit admits up to.
+func (r *Runner[T]) Cap() int { return cap(r.queue) }
+
+// InFlight is the number of items currently being processed by workers.
+func (r *Runner[T]) InFlight() int { return int(r.inflight.Load()) }
+
+// Close stops intake, lets the workers drain the queue, and joins them.
+// Callers that want queued-but-unstarted items abandoned rather than run
+// flip their own state before closing so process becomes a no-op for
+// them. Close is idempotent and safe to race with TrySubmit.
+func (r *Runner[T]) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.queue)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}

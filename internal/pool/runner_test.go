@@ -1,0 +1,115 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunnerProcessesEverythingAccepted floods a small runner from many
+// goroutines and checks exactly the accepted items are processed, each
+// once, and that rejections only happen under genuine saturation.
+func TestRunnerProcessesEverythingAccepted(t *testing.T) {
+	var processed atomic.Int64
+	slow := make(chan struct{})
+	r := NewRunner[int](2, 2, func(int) {
+		<-slow
+		processed.Add(1)
+	})
+
+	var accepted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if r.TrySubmit(i) {
+				accepted.Add(1)
+			} else {
+				rejected.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// 2 workers + depth 2: at most 4 items can be admitted while the
+	// processing function blocks.
+	if a := accepted.Load(); a > 4 {
+		t.Fatalf("accepted %d items with 2 workers and depth 2", a)
+	}
+	if rejected.Load() == 0 {
+		t.Fatal("no submission was rejected under saturation")
+	}
+	close(slow)
+	r.Close()
+	if got, want := processed.Load(), accepted.Load(); got != want {
+		t.Fatalf("processed %d of %d accepted items", got, want)
+	}
+}
+
+// TestRunnerCloseJoinsWorkers checks Close leaves no worker goroutine
+// behind and that TrySubmit after Close refuses instead of panicking.
+func TestRunnerCloseJoinsWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := NewRunner[int](4, 8, func(int) {})
+	for i := 0; i < 8; i++ {
+		r.TrySubmit(i)
+	}
+	r.Close()
+	r.Close() // idempotent
+	if r.TrySubmit(99) {
+		t.Fatal("TrySubmit succeeded after Close")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("goroutines did not settle after Close: %d > baseline %d", n, base)
+	}
+}
+
+// TestRunnerCloseRacesWithSubmit hammers TrySubmit from many goroutines
+// while Close runs: no send-on-closed-channel panic, no deadlock.
+func TestRunnerCloseRacesWithSubmit(t *testing.T) {
+	r := NewRunner[int](2, 4, func(int) {})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.TrySubmit(j)
+			}
+		}()
+	}
+	r.Close()
+	wg.Wait()
+}
+
+// TestRunnerGauges checks QueueLen/InFlight/Cap reflect a held item.
+func TestRunnerGauges(t *testing.T) {
+	started := make(chan struct{}, 3)
+	release := make(chan struct{})
+	r := NewRunner[int](1, 3, func(int) {
+		started <- struct{}{}
+		<-release
+	})
+	// LIFO: release the worker first, then join it.
+	defer r.Close()
+	defer close(release)
+	if r.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", r.Cap())
+	}
+	r.TrySubmit(1)
+	<-started
+	if r.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", r.InFlight())
+	}
+	r.TrySubmit(2)
+	r.TrySubmit(3)
+	if r.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d, want 2", r.QueueLen())
+	}
+}

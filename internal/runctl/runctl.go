@@ -74,6 +74,28 @@ type Limits struct {
 	CheckpointAt []uint64
 }
 
+// Clamp tightens lim so no budget exceeds the corresponding ceiling: for
+// each budget field, a non-zero ceiling replaces an unset (zero) or
+// looser limit. Supervising layers — the job service admitting
+// client-requested budgets — use it to impose server-wide caps without
+// inspecting individual fields. Checkpoint scheduling fields are not
+// budgets and pass through untouched.
+func Clamp(lim, ceiling Limits) Limits {
+	if ceiling.MaxEvents != 0 && (lim.MaxEvents == 0 || lim.MaxEvents > ceiling.MaxEvents) {
+		lim.MaxEvents = ceiling.MaxEvents
+	}
+	if ceiling.MaxCycles != 0 && (lim.MaxCycles == 0 || lim.MaxCycles > ceiling.MaxCycles) {
+		lim.MaxCycles = ceiling.MaxCycles
+	}
+	if ceiling.WallBudget != 0 && (lim.WallBudget == 0 || lim.WallBudget > ceiling.WallBudget) {
+		lim.WallBudget = ceiling.WallBudget
+	}
+	if ceiling.MemSoftBytes != 0 && (lim.MemSoftBytes == 0 || lim.MemSoftBytes > ceiling.MemSoftBytes) {
+		lim.MemSoftBytes = ceiling.MemSoftBytes
+	}
+	return lim
+}
+
 // active reports whether any budget is set.
 func (l Limits) active() bool {
 	return l.MaxEvents != 0 || l.MaxCycles != 0 || l.WallBudget != 0 || l.MemSoftBytes != 0 ||

@@ -88,6 +88,41 @@ func TestWallBudgetStops(t *testing.T) {
 	}
 }
 
+func TestClamp(t *testing.T) {
+	ceiling := Limits{MaxEvents: 100, MaxCycles: 1000, WallBudget: time.Second, MemSoftBytes: 1 << 20}
+	cases := []struct {
+		name string
+		in   Limits
+		want Limits
+	}{
+		{"zero adopts every ceiling", Limits{}, ceiling},
+		{"looser budgets are tightened",
+			Limits{MaxEvents: 200, MaxCycles: 5000, WallBudget: time.Minute, MemSoftBytes: 1 << 30}, ceiling},
+		{"tighter budgets survive",
+			Limits{MaxEvents: 5, MaxCycles: 7, WallBudget: time.Millisecond, MemSoftBytes: 16},
+			Limits{MaxEvents: 5, MaxCycles: 7, WallBudget: time.Millisecond, MemSoftBytes: 16}},
+		{"checkpoint schedule passes through",
+			Limits{CheckpointEvery: 9, CheckpointAt: []uint64{3}},
+			Limits{MaxEvents: 100, MaxCycles: 1000, WallBudget: time.Second, MemSoftBytes: 1 << 20,
+				CheckpointEvery: 9, CheckpointAt: []uint64{3}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Clamp(tc.in, ceiling)
+			if got.MaxEvents != tc.want.MaxEvents || got.MaxCycles != tc.want.MaxCycles ||
+				got.WallBudget != tc.want.WallBudget || got.MemSoftBytes != tc.want.MemSoftBytes ||
+				got.CheckpointEvery != tc.want.CheckpointEvery || len(got.CheckpointAt) != len(tc.want.CheckpointAt) {
+				t.Fatalf("Clamp = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+	// A zero ceiling imposes nothing.
+	loose := Limits{MaxEvents: 1 << 40}
+	if got := Clamp(loose, Limits{}); got.MaxEvents != loose.MaxEvents || got.WallBudget != 0 {
+		t.Fatalf("Clamp with zero ceiling = %+v, want %+v unchanged", got, loose)
+	}
+}
+
 func TestMemSoftLimitStops(t *testing.T) {
 	// 1 byte soft limit: any live heap trips it. The memory check is the
 	// sparsest of all (every CheckEvery*memEveryChecks events).

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202; 400 named fields; 429 saturated; 503 draining)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result result of a finished job (409 while unfinished)
+//	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: cooperative)
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error  string       `json:"error"`
+	State  State        `json:"state,omitempty"`
+	Fields []FieldError `json:"fields,omitempty"`
+
+	// RetryAfterMS accompanies 429s, mirroring the Retry-After header for
+	// clients that do not read headers.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := DecodeSpec(r.Body)
+	if err != nil {
+		var se *SpecError
+		if errors.As(err, &se) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid job spec", Fields: se.Fields})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	id, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrSaturated):
+		// Load shedding, not queuing: the client owns the retry.
+		retry := s.opt.RetryAfter
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry.Seconds()+0.999)))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error:        "queue full",
+			RetryAfterMS: retry.Milliseconds(),
+		})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server is draining"})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": StateQueued})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	if !v.State.Terminal() {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job not finished", State: v.State})
+		return
+	}
+	// Terminal states all answer 200: done with the full outcome,
+	// canceled/failed with the partial outcome (when one was salvaged)
+	// and the error — the partial-result shape clients poll for after a
+	// cancellation.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      v.ID,
+		"state":   v.State,
+		"outcome": v.Outcome,
+		"error":   v.Error,
+	})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": v.ID, "state": v.State})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteProm(w,
+		s.runner.QueueLen(), s.runner.Cap(), s.runner.InFlight(), s.opt.Workers,
+		time.Since(s.started))
+}

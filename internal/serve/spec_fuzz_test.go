@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSpec drives arbitrary bytes through the job-spec decoder.
+// The contract under fuzz: never panic, never hang, and classify every
+// input as either a fully valid spec or a *SpecError whose field errors
+// are all named — the structured-400 guarantee of the HTTP layer.
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add(`{"kernel":"heat","mode":"cohesion","clusters":2,"scale":1,"seed":42,"verify":true}`)
+	f.Add(`{"kernel":"dmm","mode":"swcc","max_events":1000,"max_wall_ms":50}`)
+	f.Add(`{"kernel":"nope","mode":"mesi","clusters":-1}`)
+	f.Add(`{"kernel": `)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Add(`{"kernel":"heat","mode":"hwcc"} trailing`)
+	f.Add(`{"unknown_key":1}`)
+	f.Add(`{"seed":-9223372036854775808,"scale":99999999999}`)
+	f.Add(strings.Repeat("[", 1000))
+
+	f.Fuzz(func(t *testing.T, body string) {
+		spec, err := DecodeSpec(strings.NewReader(body))
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("DecodeSpec returned a non-SpecError: %v", err)
+			}
+			if len(se.Fields) == 0 {
+				t.Fatalf("SpecError with no field errors for %q", body)
+			}
+			for _, fe := range se.Fields {
+				if fe.Field == "" || fe.Msg == "" {
+					t.Fatalf("unnamed field error %+v for %q", fe, body)
+				}
+			}
+			if se.Error() == "" {
+				t.Fatal("SpecError has an empty message")
+			}
+			return
+		}
+		// Accepted specs must round-trip validation: DecodeSpec promises a
+		// spec the server will admit without further checks.
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("DecodeSpec accepted %q but Validate rejects: %v", body, verr)
+		}
+		// And they must be JSON-serializable (they go straight into the
+		// persisted job record).
+		if _, merr := json.Marshal(spec); merr != nil {
+			t.Fatalf("accepted spec does not marshal: %v", merr)
+		}
+	})
+}

@@ -49,6 +49,7 @@ const (
 	KindRun   Kind = "run"   // one simulation (RunSnapshot at the root)
 	KindSweep Kind = "sweep" // an experiment sweep's per-cell results
 	KindFuzz  Kind = "fuzz"  // a fuzz batch's progress counters
+	KindJob   Kind = "job"   // a job-service record (internal/serve)
 )
 
 // Structured load errors; match with errors.Is.

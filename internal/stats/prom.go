@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteProm emits the histogram in Prometheus text exposition format as
+// a classic cumulative histogram: one <name>_bucket series per occupied
+// log2 bucket boundary plus the +Inf bucket, then <name>_sum and
+// <name>_count. labels, when non-empty, is a comma-joined list of
+// already-rendered label pairs (`kernel="heat"`) applied to every
+// series. The serving layer uses it to expose job latencies without a
+// Prometheus client dependency.
+func (h *Histogram) WriteProm(w io.Writer, name, labels string) {
+	with := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		}
+		return "{" + labels + "," + extra + "}"
+	}
+	// The highest occupied bucket bounds the emitted series, so a scrape
+	// scales with the observed range rather than the 65-bucket capacity.
+	top := -1
+	for i, n := range h.Buckets {
+		if n > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += h.Buckets[i]
+		// Bucket i holds values v with bits.Len64(v) == i: exactly 0 for
+		// i = 0, the range [2^(i-1), 2^i) otherwise — so the inclusive
+		// upper bound is 2^i - 1.
+		le := uint64(0)
+		if i > 0 {
+			le = 1<<uint(i) - 1
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, with(fmt.Sprintf("le=%q", fmt.Sprint(le))), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, with(`le="+Inf"`), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, with(""), h.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, with(""), h.Count)
+}

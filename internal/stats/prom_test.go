@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistogramWriteProm checks the exposition is a well-formed classic
+// Prometheus histogram: cumulative buckets in increasing le order, a
+// +Inf bucket equal to the count, and matching sum/count series.
+func TestHistogramWriteProm(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 1, 3, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	h.WriteProm(&b, "job_latency_ms", `kernel="heat"`)
+	out := b.String()
+
+	for _, want := range []string{
+		`job_latency_ms_bucket{kernel="heat",le="0"} 1`,   // the single 0
+		`job_latency_ms_bucket{kernel="heat",le="1"} 3`,   // + two 1s
+		`job_latency_ms_bucket{kernel="heat",le="3"} 4`,   // + the 3
+		`job_latency_ms_bucket{kernel="heat",le="127"} 5`, // + the 100
+		`job_latency_ms_bucket{kernel="heat",le="+Inf"} 5`,
+		`job_latency_ms_sum{kernel="heat"} 105`,
+		`job_latency_ms_count{kernel="heat"} 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Cumulative counts must be non-decreasing line to line.
+	var prev int64 = -1
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "job_latency_ms_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmtSscanLast(line, &n); err != nil {
+			t.Fatalf("unparseable line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts decreased at %q", line)
+		}
+		prev = n
+	}
+}
+
+// TestHistogramWritePromEmptyAndUnlabeled: an empty histogram still emits
+// a valid +Inf/sum/count triple, and no labels means no braces.
+func TestHistogramWritePromEmptyAndUnlabeled(t *testing.T) {
+	var h Histogram
+	var b strings.Builder
+	h.WriteProm(&b, "x", "")
+	out := b.String()
+	for _, want := range []string{`x_bucket{le="+Inf"} 0`, "x_sum 0", "x_count 0"} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("empty exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// fmtSscanLast parses the final whitespace-separated field as an int64.
+func fmtSscanLast(line string, n *int64) (int, error) {
+	fields := strings.Fields(line)
+	last := fields[len(fields)-1]
+	var v int64
+	for _, c := range last {
+		if c < '0' || c > '9' {
+			return 0, errNotDigit
+		}
+		v = v*10 + int64(c-'0')
+	}
+	*n = v
+	return 1, nil
+}
+
+var errNotDigit = &parseErr{}
+
+type parseErr struct{}
+
+func (*parseErr) Error() string { return "non-digit in count" }

@@ -1,0 +1,145 @@
+package cohesion
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeLoadSaturationAndCorrectness hammers a deliberately tiny
+// server (1 worker, queue depth 1) with concurrent clients:
+//
+//   - while the worker is pinned by a long job, a burst of submissions
+//     must be answered deterministically — exactly one fills the queue
+//     slot, every other client gets an immediate 429 (never a hang);
+//   - every job that was accepted completes bit-correct against the
+//     golden fingerprint matrix;
+//   - after the drain, no goroutine survives the server.
+func TestServeLoadSaturationAndCorrectness(t *testing.T) {
+	golden := loadGoldenFingerprints(t)
+	base := runtime.NumGoroutine()
+
+	js, err := NewJobServer(ServeOptions{StateDir: t.TempDir(), Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatalf("NewJobServer: %v", err)
+	}
+	ts := httptest.NewServer(js.Handler())
+	defer ts.Close()
+	c := &serveTestClient{t: t, base: ts.URL}
+
+	// Pin the single worker with a multi-second job.
+	longID, resp := c.submit(JobSpec{Kernel: "dmm", Mode: "cohesion", Clusters: 2, Scale: 12, Seed: 42})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("long submit: status %d", resp.StatusCode)
+	}
+	for st, _ := c.jobState(longID); st != "running"; st, _ = c.jobState(longID) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Concurrent burst: queue depth 1 means exactly one acceptance.
+	const clients = 8
+	quick := JobSpec{Kernel: "heat", Mode: "swcc", Clusters: 2, Scale: 1, Seed: 42, Verify: true}
+	var (
+		mu       sync.Mutex
+		accepted []string
+		rejected int
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id, resp := c.submit(quick)
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				accepted = append(accepted, id)
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without a Retry-After header")
+				}
+				rejected++
+			default:
+				t.Errorf("burst submit: unexpected status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(accepted) != 1 || rejected != clients-1 {
+		t.Fatalf("burst: %d accepted, %d rejected; want exactly 1 and %d",
+			len(accepted), rejected, clients-1)
+	}
+
+	// Free the worker; the long job ends canceled (a client is entitled
+	// to bail out of its own job under load).
+	if code := c.cancel(longID); code != http.StatusAccepted {
+		t.Fatalf("cancel long job = %d", code)
+	}
+	if st := c.waitTerminal(longID, 60*time.Second); st != "canceled" {
+		t.Fatalf("long job state = %s, want canceled", st)
+	}
+
+	// The accepted burst job now runs to completion, bit-correct.
+	for _, id := range accepted {
+		if st := c.waitTerminal(id, 120*time.Second); st != "done" {
+			t.Fatalf("accepted job %s state = %s, want done", id, st)
+		}
+		rb, _ := c.result(id)
+		if rb.Outcome == nil || rb.Outcome.MemFingerprint != golden["heat/SWcc"] {
+			t.Fatalf("accepted job %s fingerprint = %+v, golden %s",
+				id, rb.Outcome, golden["heat/SWcc"])
+		}
+	}
+
+	// With the server idle again, a second wave is all accepted (workers
+	// drain the queue between submissions) or shed with 429 — but every
+	// acceptance completes correctly. Sequential submits with one worker
+	// and depth 1 can still race the drain of the previous job, so accept
+	// either answer and verify what was admitted.
+	var wave []string
+	for i := 0; i < 6; i++ {
+		id, resp := c.submit(quick)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			wave = append(wave, id)
+		case http.StatusTooManyRequests:
+		default:
+			t.Fatalf("wave submit: status %d", resp.StatusCode)
+		}
+	}
+	if len(wave) == 0 {
+		t.Fatal("an idle server accepted nothing")
+	}
+	for _, id := range wave {
+		if st := c.waitTerminal(id, 120*time.Second); st != "done" {
+			t.Fatalf("wave job %s state = %s", id, st)
+		}
+		rb, _ := c.result(id)
+		if rb.Outcome == nil || rb.Outcome.MemFingerprint != golden["heat/SWcc"] {
+			t.Fatalf("wave job %s fingerprint mismatch: %+v", id, rb.Outcome)
+		}
+	}
+
+	// Tear everything down in order — drain the pool, close the listener,
+	// drop the client's keep-alive conns — then require the goroutine
+	// count to settle back to the pre-server baseline.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := js.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("goroutines did not settle after drain: %d > baseline %d", n, base)
+	}
+}
