@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race serve serve-test bench bench-short bench-check microbench experiments examples fmt vet cover clean
+.PHONY: all build test race serve serve-test bench bench-short bench-check profile microbench experiments examples fmt vet cover clean
 
 all: build test
 
@@ -38,9 +38,18 @@ bench-short:
 	$(GO) run ./cmd/cohesion-bench -short
 
 # The regression gate: short suite compared against the committed
-# baseline; a >15% ns/event or any allocs/event regression exits 2.
+# baseline; a >10% ns/event or allocs/event regression exits 2.
 bench-check:
-	$(GO) run ./cmd/cohesion-bench -short -out BENCH_current.json -baseline BENCH_baseline.json
+	$(GO) run ./cmd/cohesion-bench -short -max-ns-regress 10 \
+		-out BENCH_current.json -baseline BENCH_baseline.json
+
+# Hot-path profiling: ~10s of simulated event loop (all kernels x all
+# modes, bench-parity config) under the pprof CPU and allocation
+# profilers. Prints the top flat costs and leaves cpu.pprof/alloc.pprof
+# for `go tool pprof`.
+profile:
+	$(GO) run ./cmd/cohesion-profile -seconds 10 -top 15 \
+		-cpu cpu.pprof -alloc alloc.pprof
 
 # The go-test micro-benchmarks (per-package, -benchmem).
 microbench:

@@ -1,0 +1,154 @@
+// Command cohesion-profile is the hot-path profiling harness behind
+// `make profile`. It runs the same kernel × memory-model matrix the
+// bench harness measures, but in a loop sized for profiling (tens of
+// seconds of steady-state simulation), with pprof CPU and allocation
+// profiles enabled, and prints a top-N flat-cost report so an
+// optimization round starts from data instead of guesses.
+//
+// The loop deliberately reuses cohesion.Prepare/Simulate/Finalize — the
+// exact code path cohesion-bench times — so profile weight maps 1:1
+// onto the bench's ns/event figures.
+//
+// Examples:
+//
+//	cohesion-profile                          # full matrix, ~30s, writes cpu.pprof + alloc.pprof
+//	cohesion-profile -kernels cg,dmm -modes cohesion -seconds 10
+//	cohesion-profile -top 15                  # wider report
+//	go tool pprof -http=:8080 cpu.pprof      # drill in interactively
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"cohesion"
+	"cohesion/internal/prof"
+)
+
+func main() {
+	var (
+		kernelsFlag = flag.String("kernels", "", "comma-separated kernels (default: all eight)")
+		modesFlag   = flag.String("modes", "swcc,hwcc,cohesion", "comma-separated memory models")
+		scale       = flag.Int("scale", 3, "data-set scale (bench parity: 3)")
+		clusters    = flag.Int("clusters", 4, "clusters (bench parity: 4)")
+		seed        = flag.Int64("seed", 42, "workload seed")
+		seconds     = flag.Float64("seconds", 30, "target profiling duration")
+		cpuOut      = flag.String("cpu", "cpu.pprof", "CPU profile output file")
+		allocOut    = flag.String("alloc", "alloc.pprof", "allocation profile output file")
+		top         = flag.Int("top", 10, "entries in the flat-cost report")
+	)
+	flag.Parse()
+
+	kernelList := cohesion.KernelNames()
+	if *kernelsFlag != "" {
+		kernelList = strings.Split(*kernelsFlag, ",")
+	}
+	var modes []cohesion.Mode
+	for _, m := range strings.Split(*modesFlag, ",") {
+		switch strings.ToLower(strings.TrimSpace(m)) {
+		case "swcc":
+			modes = append(modes, cohesion.SWcc)
+		case "hwcc":
+			modes = append(modes, cohesion.HWcc)
+		case "cohesion":
+			modes = append(modes, cohesion.Cohesion)
+		default:
+			fatal("unknown mode %q", m)
+		}
+	}
+
+	cpuF, err := os.Create(*cpuOut)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		fatal("%v", err)
+	}
+
+	ctx := context.Background()
+	deadline := time.Now().Add(time.Duration(*seconds * float64(time.Second)))
+	var events uint64
+	passes := 0
+	for time.Now().Before(deadline) {
+		for _, kernel := range kernelList {
+			for _, mode := range modes {
+				p, err := cohesion.Prepare(cohesion.RunConfig{
+					Machine: cohesion.ScaledConfig(*clusters).WithMode(mode),
+					Kernel:  kernel,
+					Scale:   *scale,
+					Seed:    *seed,
+				})
+				if err != nil {
+					fatal("%s/%v: %v", kernel, mode, err)
+				}
+				if err := p.Simulate(ctx); err != nil {
+					fatal("%s/%v: %v", kernel, mode, err)
+				}
+				res, err := p.Finalize()
+				if err != nil {
+					fatal("%s/%v: %v", kernel, mode, err)
+				}
+				events += res.Stats.Events
+			}
+		}
+		passes++
+	}
+	pprof.StopCPUProfile()
+	cpuF.Close()
+
+	af, err := os.Create(*allocOut)
+	if err != nil {
+		fatal("%v", err)
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(af, 0); err != nil {
+		fatal("%v", err)
+	}
+	af.Close()
+
+	fmt.Printf("profiled %d pass(es) of %d kernel(s) x %d mode(s): %d events\n",
+		passes, len(kernelList), len(modes), events)
+	fmt.Printf("profiles written: %s (cpu), %s (allocs)\n", *cpuOut, *allocOut)
+
+	if err := report(*cpuOut, *top); err != nil {
+		fmt.Fprintf(os.Stderr, "cohesion-profile: report: %v\n", err)
+	}
+}
+
+// report prints the top-N flat-cost functions of a CPU profile, with
+// cumulative percentages — the same numbers `go tool pprof -top` shows,
+// computed here (via internal/prof) so `make profile` needs no extra
+// tooling or network access.
+func report(path string, n int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	p, err := prof.Parse(f)
+	if err != nil {
+		return err
+	}
+	costs, total := p.TopN(p.ValueIndex("cpu"), n)
+	if total == 0 {
+		fmt.Println("== empty CPU profile (no samples) ==")
+		return nil
+	}
+	fmt.Printf("== top %d by flat CPU (total %.2fs) ==\n", len(costs), float64(total)/1e9)
+	for _, c := range costs {
+		fmt.Printf("  %6.2f%% flat  %6.2f%% cum  %s\n",
+			float64(c.Flat)/float64(total)*100, float64(c.Cum)/float64(total)*100, c.Name)
+	}
+	return nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cohesion-profile: "+format+"\n", args...)
+	os.Exit(1)
+}

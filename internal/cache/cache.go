@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cohesion/internal/addr"
 )
@@ -45,9 +46,17 @@ const FullMask = uint8(1<<addr.WordsPerLine - 1)
 type Cache struct {
 	sets   [][]Entry
 	ways   int
+	mask   uint64 // nsets-1 when nsets is a power of two, else 0
 	tick   uint64
 	valid  int
 	pinned int
+
+	// occ has one bit per slot (set*ways+way), set while the slot holds a
+	// valid entry. ForEach scans it instead of streaming the whole entry
+	// array: end-of-run sweeps (invariant checks, dirty drains) touch only
+	// live entries, which for a sparsely used cache is orders of magnitude
+	// less memory traffic.
+	occ []uint64
 }
 
 // New builds a cache of sizeBytes capacity and the given associativity.
@@ -58,7 +67,10 @@ func New(sizeBytes, assoc int) *Cache {
 		panic(fmt.Sprintf("cache: bad geometry %d bytes %d-way", sizeBytes, assoc))
 	}
 	nsets := lines / assoc
-	c := &Cache{sets: make([][]Entry, nsets), ways: assoc}
+	c := &Cache{sets: make([][]Entry, nsets), ways: assoc, occ: make([]uint64, (lines+63)/64)}
+	if nsets&(nsets-1) == 0 {
+		c.mask = uint64(nsets - 1)
+	}
 	for i := range c.sets {
 		c.sets[i] = make([]Entry, assoc)
 	}
@@ -73,8 +85,31 @@ func (c *Cache) Lines() int { return len(c.sets) * c.ways }
 // Count reports how many entries are currently valid.
 func (c *Cache) Count() int { return c.valid }
 
+// set returns the set for a line. Set counts are powers of two in every
+// real geometry, so indexing is a mask; the modulo fallback (a hardware
+// divide, measurably hot at one per cache access) only runs for odd
+// test-constructed geometries.
 func (c *Cache) set(line addr.Line) []Entry {
-	return c.sets[uint64(line)%uint64(len(c.sets))]
+	return c.sets[c.setIdx(line)]
+}
+
+func (c *Cache) setIdx(line addr.Line) uint64 {
+	if c.mask != 0 || len(c.sets) == 1 {
+		return uint64(line) & c.mask
+	}
+	return uint64(line) % uint64(len(c.sets))
+}
+
+// markSlot and clearSlot maintain the occupancy bitmap for slot w of the
+// given set.
+func (c *Cache) markSlot(setIdx uint64, w int) {
+	i := setIdx*uint64(c.ways) + uint64(w)
+	c.occ[i>>6] |= 1 << (i & 63)
+}
+
+func (c *Cache) clearSlot(setIdx uint64, w int) {
+	i := setIdx*uint64(c.ways) + uint64(w)
+	c.occ[i>>6] &^= 1 << (i & 63)
 }
 
 // Lookup returns the entry holding line and refreshes its LRU position, or
@@ -113,8 +148,9 @@ func (c *Cache) Peek(line addr.Line) *Entry {
 // The new entry starts Valid with empty masks, StateInvalid protocol state,
 // and the incoherent bit clear; the caller fills it in.
 func (c *Cache) Allocate(line addr.Line) (entry *Entry, victim Entry, evicted bool) {
-	set := c.set(line)
-	var slot *Entry
+	si := c.setIdx(line)
+	set := c.sets[si]
+	slotW := -1
 	for i := range set {
 		e := &set[i]
 		if e.Valid && e.Line == line {
@@ -124,16 +160,17 @@ func (c *Cache) Allocate(line addr.Line) (entry *Entry, victim Entry, evicted bo
 			if e.Pinned {
 				continue
 			}
-			if slot == nil || (slot.Valid && e.lastUse < slot.lastUse) {
-				slot = e
+			if slotW < 0 || (set[slotW].Valid && e.lastUse < set[slotW].lastUse) {
+				slotW = i
 			}
-		} else if slot == nil || slot.Valid {
-			slot = e // always prefer an invalid way
+		} else if slotW < 0 || set[slotW].Valid {
+			slotW = i // always prefer an invalid way
 		}
 	}
-	if slot == nil {
+	if slotW < 0 {
 		panic(fmt.Sprintf("cache: set for line %#x fully pinned", uint64(line)))
 	}
+	slot := &set[slotW]
 	if slot.Valid {
 		victim, evicted = *slot, true
 		c.valid--
@@ -141,31 +178,34 @@ func (c *Cache) Allocate(line addr.Line) (entry *Entry, victim Entry, evicted bo
 	c.tick++
 	*slot = Entry{Line: line, Valid: true, lastUse: c.tick}
 	c.valid++
+	c.markSlot(si, slotW)
 	return slot, victim, evicted
 }
 
 // Invalidate drops line if present, returning a copy of the dropped entry.
 func (c *Cache) Invalidate(line addr.Line) (dropped Entry, was bool) {
-	set := c.set(line)
+	si := c.setIdx(line)
+	set := c.sets[si]
 	for i := range set {
 		if set[i].Valid && set[i].Line == line {
 			dropped, was = set[i], true
 			set[i] = Entry{}
 			c.valid--
+			c.clearSlot(si, i)
 			return
 		}
 	}
 	return
 }
 
-// ForEach calls fn for every valid entry. fn may mutate entries but must
-// not invalidate or allocate.
+// ForEach calls fn for every valid entry, in set then way order. fn may
+// mutate entries but must not invalidate or allocate.
 func (c *Cache) ForEach(fn func(*Entry)) {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].Valid {
-				fn(&c.sets[s][w])
-			}
+	ways := uint64(c.ways)
+	for wi, word := range c.occ {
+		for ; word != 0; word &= word - 1 {
+			i := uint64(wi)<<6 + uint64(bits.TrailingZeros64(word))
+			fn(&c.sets[i/ways][i%ways])
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"cohesion/internal/cache"
 	"cohesion/internal/config"
 	"cohesion/internal/event"
+	"cohesion/internal/linetab"
 	"cohesion/internal/msg"
 	"cohesion/internal/oracle"
 	"cohesion/internal/simerr"
@@ -108,6 +109,23 @@ type Core struct {
 	yield func(Op) bool
 	resp  uint32
 
+	// opq queues result-free operations (stores, compute, flushes)
+	// issued by the program via DoAsync without suspending it: a
+	// coroutine switch costs more than issuing the operation itself, so
+	// the program runs ahead — host-side only — and the machine drains
+	// the queue one operation per completion, exactly as if each had
+	// been yielded individually. Per-core program order, issue timing,
+	// and the global event schedule are bit-identical to the unbatched
+	// execution; the only thing that moves is when program host code
+	// runs, which by construction cannot observe simulated state except
+	// through result-bearing (still synchronous) operations. deferred
+	// holds the synchronous operation the program yielded while queued
+	// operations were still pending; it issues after the queue drains.
+	opq         []Op
+	opqHead     int
+	deferred    Op
+	hasDeferred bool
+
 	pc       int // instruction index within the kernel code footprint
 	codeBase addr.Addr
 	codeLen  int // code footprint in bytes
@@ -158,6 +176,26 @@ func (c *Core) Do(o Op) uint32 {
 	return c.resp
 }
 
+// asyncBatchCap bounds how far a program may run ahead of the machine
+// through DoAsync before it is forced to suspend and let the queue drain.
+const asyncBatchCap = 64
+
+// DoAsync issues a result-free operation without suspending the program.
+// The operation is queued and issued by the machine in program order,
+// with the same per-operation timing as a synchronous Do; the program
+// suspends at its next Do (or when the queue fills) until every queued
+// operation has completed. Must only be called from inside the core's
+// program, and only for operations whose result is discarded.
+func (c *Core) DoAsync(o Op) {
+	if len(c.opq) < asyncBatchCap {
+		c.opq = append(c.opq, o)
+		return
+	}
+	if !c.yield(o) {
+		panic(coreShutdown{})
+	}
+}
+
 // TakeRaceTrap reports and clears the core's pending race exception (set
 // when a CohHWccRegion acknowledgement flagged a Figure 7 Case 5b race
 // under config.TrapOnRace). Called from the program.
@@ -177,15 +215,46 @@ func (c *Core) SetCode(base addr.Addr, bytes int) {
 	c.codeBase, c.codeLen, c.pc = base, bytes, 0
 }
 
-// advance resumes the program and records the operation it yields. A
-// program that returns without yielding (only possible after an unwind)
-// reads as done.
+// advance produces the core's next operation: first any operations the
+// program queued through DoAsync (in program order), then a synchronous
+// operation deferred behind them, and only then — with the queue empty —
+// does it resume the program coroutine. A program that returns without
+// yielding (only possible after an unwind) reads as done.
 func (c *Core) advance() {
+	if c.opqHead < len(c.opq) {
+		c.pending = c.takeQueued()
+		return
+	}
+	if c.hasDeferred {
+		c.pending = c.deferred
+		c.deferred = Op{}
+		c.hasDeferred = false
+		return
+	}
 	op, ok := c.next()
 	if !ok {
 		op = Op{Kind: OpDone}
 	}
+	// The resume may have queued operations before yielding op; they
+	// precede it in program order.
+	if c.opqHead < len(c.opq) {
+		c.deferred, c.hasDeferred = op, true
+		c.pending = c.takeQueued()
+		return
+	}
 	c.pending = op
+}
+
+// takeQueued pops the next DoAsync-queued operation, rewinding the queue
+// storage for reuse once drained.
+func (c *Core) takeQueued() Op {
+	op := c.opq[c.opqHead]
+	c.opqHead++
+	if c.opqHead == len(c.opq) {
+		c.opq = c.opq[:0]
+		c.opqHead = 0
+	}
+	return op
 }
 
 // Cluster is eight cores, their L1s, and the shared L2.
@@ -202,8 +271,13 @@ type Cluster struct {
 	orc    *oracle.Oracle // nil unless the online coherence oracle is enabled
 
 	l2busy event.Cycle
-	txns   map[addr.Line]*l2txn
-	seq    uint64 // transaction-ID sequence (per cluster)
+
+	// txns tracks in-flight L2 transactions by line. An open-addressed
+	// table rather than a map: the working set is tens of lines churning
+	// millions of times, and its deterministic slot-order iteration feeds
+	// the watchdog and stuck reports directly.
+	txns linetab.Table[*l2txn]
+	seq  uint64 // transaction-ID sequence (per cluster)
 
 	// freeTxn heads the cluster's l2txn free list. Transactions recycle
 	// through it so steady-state misses allocate nothing; see l2txn for
@@ -261,7 +335,6 @@ func New(id int, cfg config.Machine, q *event.Queue, run *stats.Run) *Cluster {
 		q:    q,
 		run:  run,
 		l2:   cache.New(cfg.L2Size, cfg.L2Assoc),
-		txns: make(map[addr.Line]*l2txn),
 	}
 	for i := 0; i < cfg.CoresPerCluster; i++ {
 		c := &Core{
@@ -328,7 +401,7 @@ func (cl *Cluster) SetOracle(o *oracle.Oracle) { cl.orc = o }
 func (cl *Cluster) L2() *cache.Cache { return cl.l2 }
 
 // Pending reports whether the L2 has outstanding transactions.
-func (cl *Cluster) Pending() bool { return len(cl.txns) > 0 }
+func (cl *Cluster) Pending() bool { return cl.txns.Len() > 0 }
 
 // OldestTxn reports the cluster's longest-outstanding L2 transaction
 // (age and line), ties broken by lowest line address so the answer is
@@ -336,12 +409,12 @@ func (cl *Cluster) Pending() bool { return len(cl.txns) > 0 }
 // watchdog uses it to catch a single wedged transaction even while
 // other cores keep completing operations (e.g. spin-waiting pollers).
 func (cl *Cluster) OldestTxn(now event.Cycle) (age event.Cycle, line addr.Line, ok bool) {
-	for l, t := range cl.txns {
+	cl.txns.ForEach(func(l addr.Line, t *l2txn) {
 		a := now - t.bornAt
 		if !ok || a > age || (a == age && l < line) {
 			age, line, ok = a, l, true
 		}
-	}
+	})
 	return age, line, ok
 }
 
@@ -650,11 +723,11 @@ func (cl *Cluster) releaseTxn(t *l2txn) {
 // the retry queues behind it; otherwise a request of the given kind is
 // sent and the response installed.
 func (cl *Cluster) joinTxn(line addr.Line, write bool, retry func(), kind msg.ReqKind) {
-	if t := cl.txns[line]; t != nil {
+	if t, ok := cl.txns.Get(line); ok {
 		t.retries = append(t.retries, retry)
 		return
 	}
-	if len(cl.txns) >= cl.cfg.L2MSHRs {
+	if cl.txns.Len() >= cl.cfg.L2MSHRs {
 		// All miss-status registers busy: stall and retry when one drains.
 		cl.run.Edge(trace.EdgeL2MSHRStall)
 		cl.q.After(event.Cycle(cl.cfg.L2Latency), retry)
@@ -667,7 +740,7 @@ func (cl *Cluster) joinTxn(line addr.Line, write bool, retry func(), kind msg.Re
 		t.id = uint64(cl.ID)<<32 | cl.seq // seq starts at 1, so IDs are nonzero
 	}
 	t.retries = append(t.retries, retry)
-	cl.txns[line] = t
+	cl.txns.Put(line, t)
 	if e := cl.l2.Peek(line); e != nil {
 		e.Pinned = true
 	}
@@ -693,7 +766,7 @@ func (cl *Cluster) sendAttempt(line addr.Line, t *l2txn) {
 
 // handleResp settles (or retries) a transaction when a response arrives.
 func (cl *Cluster) handleResp(line addr.Line, t *l2txn, resp msg.Resp) {
-	if cl.txns[line] != t || (resp.ID != 0 && resp.ID != t.id) {
+	if cur, _ := cl.txns.Get(line); cur != t || (resp.ID != 0 && resp.ID != t.id) {
 		// A late response to an attempt of an already-settled transaction
 		// (the home normally dedups these away; defense in depth). The ID
 		// check catches the recycled-record case: the pool may have reused
@@ -717,7 +790,7 @@ func (cl *Cluster) handleResp(line addr.Line, t *l2txn, resp msg.Resp) {
 		m.TxnRetries.Observe(uint64(t.timeouts + t.nacks))
 	}
 	cl.install(line, resp)
-	delete(cl.txns, line)
+	cl.txns.Delete(line)
 	for _, r := range t.retries {
 		cl.q.After(0, r)
 	}
@@ -742,7 +815,7 @@ func (cl *Cluster) nackBackoff(line addr.Line, t *l2txn) {
 	cl.trace("nack line=%#x attempt=%d backoff=%d", uint64(line), t.nacks, delay)
 	gen := t.gen
 	cl.q.After(delay, func() {
-		if cl.txns[line] != t || t.gen != gen {
+		if cur, _ := cl.txns.Get(line); cur != t || t.gen != gen {
 			return
 		}
 		cl.sendAttempt(line, t)
@@ -770,7 +843,7 @@ func (cl *Cluster) armTimeout(line addr.Line, t *l2txn, gen int) {
 		shift = 5
 	}
 	cl.q.After(timeout<<uint(shift), func() {
-		if cl.txns[line] != t || t.gen != gen {
+		if cur, _ := cl.txns.Get(line); cur != t || t.gen != gen {
 			return
 		}
 		t.timeouts++
@@ -1091,13 +1164,11 @@ func (cl *Cluster) HandleProbe(p msg.Probe, reply func(msg.ProbeReply)) {
 // is deterministic.
 func (cl *Cluster) StuckReport(now event.Cycle) []string {
 	var out []string
-	lines := make([]addr.Line, 0, len(cl.txns))
-	for line := range cl.txns {
-		lines = append(lines, line)
-	}
+	lines := make([]addr.Line, 0, cl.txns.Len())
+	cl.txns.ForEach(func(line addr.Line, _ *l2txn) { lines = append(lines, line) })
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	for _, line := range lines {
-		t := cl.txns[line]
+		t, _ := cl.txns.Get(line)
 		out = append(out, fmt.Sprintf(
 			"cl%d: %v line=%#x outstanding %d cycles (id=%#x, %d waiters, %d timeouts, %d nacks)",
 			cl.ID, t.kind, uint64(line.Base()), now-t.bornAt, t.id, len(t.retries), t.timeouts, t.nacks))

@@ -32,6 +32,7 @@ import (
 	"cohesion/internal/dram"
 	"cohesion/internal/event"
 	"cohesion/internal/fault"
+	"cohesion/internal/linetab"
 	"cohesion/internal/msg"
 	"cohesion/internal/oracle"
 	"cohesion/internal/region"
@@ -73,8 +74,8 @@ type Home struct {
 	// port per bank): request processing serializes through it.
 	busyUntil event.Cycle
 
-	txns    map[addr.Line]*txn
-	waiting map[addr.Line]*svc // FIFO linked list per line, oldest first
+	txns    linetab.Table[*txn]
+	waiting linetab.Table[*svc] // FIFO linked list per line, oldest first
 
 	// Free lists for the bank's pooled hot-path records: service records
 	// (one per request in flight), transaction slots, and probe-reply
@@ -82,6 +83,7 @@ type Home struct {
 	freeSvc *svc
 	freeTx  *txn
 	freeRet *probeRet
+	freeRec *recall
 
 	// targets is the reusable probe fan-out scratch; probeTargets fills
 	// it and every caller iterates the result synchronously before the
@@ -94,8 +96,11 @@ type Home struct {
 	// spurious retransmission whose original succeeded; it is dropped without
 	// touching directory state — re-servicing a write whose requester has
 	// since evicted the line would fabricate a stale Modified entry.
-	serviced     map[uint64]struct{}
-	prevServiced map[uint64]struct{}
+	// linetab.Set rather than a map so rotation swaps and clears the two
+	// sets in place — the old scheme re-made a 64K-entry map every rotation,
+	// the single remaining allocation source on long HWcc runs.
+	serviced     linetab.Set
+	prevServiced linetab.Set
 }
 
 // portOccupancy is how long one request occupies the bank's port.
@@ -274,6 +279,76 @@ func (h *Home) allocProbeRet() *probeRet {
 	return pr
 }
 
+// recall is the pooled continuation record for one recallEntry flow: a
+// writeback round trip (Modified) or an invalidation fan-out with a
+// pending count (Shared). The reply funcs are bound once per record,
+// like svc's, so recalls — the protocol's hottest eviction and
+// domain-transition path — run without allocating. finishFn fires
+// exactly once per life (it may be parked on a txn's onWB hook while an
+// in-flight dirty eviction drains) and releases the record before
+// running the caller's continuation, which may start the next recall.
+type recall struct {
+	h        *Home
+	line     addr.Line
+	cont     func()
+	pending  int
+	nextFree *recall
+
+	wbRepFn  func(msg.ProbeReply)
+	invRepFn func(msg.ProbeReply)
+	finishFn func()
+}
+
+func (h *Home) allocRecall(line addr.Line, cont func()) *recall {
+	r := h.freeRec
+	if r == nil {
+		r = &recall{h: h}
+		r.finishFn = func() {
+			r.h.dir.Remove(r.line)
+			cont := r.cont
+			r.h.releaseRecall(r)
+			cont()
+		}
+		r.wbRepFn = func(rep msg.ProbeReply) {
+			if rep.Kind == msg.ReplyData {
+				r.h.run.Edge(trace.EdgeHomeRecallWBData)
+				r.h.mergeToL3(r.line, rep.Mask, rep.Data)
+				r.finishFn()
+				return
+			}
+			// Line absent at the owner: the dirty eviction is (or was) in
+			// flight. Link FIFO ordering means it normally arrived already.
+			r.h.run.Edge(trace.EdgeHomeRecallWBAbsent)
+			t, _ := r.h.txns.Get(r.line)
+			if t != nil && !t.wbArrived {
+				r.h.trace("recall line=%#x waiting for writeback", uint64(r.line))
+				t.onWB = r.finishFn
+				return
+			}
+			r.finishFn()
+		}
+		r.invRepFn = func(rep msg.ProbeReply) {
+			r.h.absorbReplyData(r.line, rep)
+			r.pending--
+			if r.pending == 0 {
+				r.finishFn()
+			}
+		}
+	} else {
+		h.freeRec = r.nextFree
+		r.nextFree = nil
+	}
+	r.line = line
+	r.cont = cont
+	return r
+}
+
+func (h *Home) releaseRecall(r *recall) {
+	r.cont = nil
+	r.nextFree = h.freeRec
+	h.freeRec = r
+}
+
 // NewHome builds the controller for one bank. dir is nil for SWcc-only
 // machines; coarse/fine are nil unless the machine runs Cohesion (coarse
 // additionally nil when the coarse-table ablation is off).
@@ -282,22 +357,19 @@ func NewHome(bank int, cfg config.Machine, q *event.Queue, run *stats.Run,
 	coarse *region.CoarseTable, fine *region.FineTable, probe ProbeFunc,
 	faults *fault.Plan) *Home {
 	return &Home{
-		bank:     bank,
-		name:     fmt.Sprintf("home%d", bank),
-		cfg:      cfg,
-		q:        q,
-		run:      run,
-		store:    store,
-		mem:      mem,
-		dir:      dir,
-		l3:       cache.New(cfg.L3BankSize(), cfg.L3Assoc),
-		coarse:   coarse,
-		fine:     fine,
-		probe:    probe,
-		faults:   faults,
-		txns:     make(map[addr.Line]*txn),
-		waiting:  make(map[addr.Line]*svc),
-		serviced: make(map[uint64]struct{}),
+		bank:   bank,
+		name:   fmt.Sprintf("home%d", bank),
+		cfg:    cfg,
+		q:      q,
+		run:    run,
+		store:  store,
+		mem:    mem,
+		dir:    dir,
+		l3:     cache.New(cfg.L3BankSize(), cfg.L3Assoc),
+		coarse: coarse,
+		fine:   fine,
+		probe:  probe,
+		faults: faults,
 	}
 }
 
@@ -309,21 +381,18 @@ func (h *Home) site() string { return h.name }
 
 // alreadyServiced reports whether a transaction ID has been granted.
 func (h *Home) alreadyServiced(id uint64) bool {
-	if _, ok := h.serviced[id]; ok {
-		return true
-	}
-	_, ok := h.prevServiced[id]
-	return ok
+	return h.serviced.Has(id) || h.prevServiced.Has(id)
 }
 
 // markServiced records a granted transaction ID, rotating generations to
-// keep the set bounded.
+// keep the set bounded. Rotation swaps the two sets and clears the stale
+// one in place, so it allocates nothing once both have reached size.
 func (h *Home) markServiced(id uint64) {
-	if len(h.serviced) >= servicedGenSize {
-		h.prevServiced = h.serviced
-		h.serviced = make(map[uint64]struct{}, servicedGenSize)
+	if h.serviced.Len() >= servicedGenSize {
+		h.serviced, h.prevServiced = h.prevServiced, h.serviced
+		h.serviced.Clear()
 	}
-	h.serviced[id] = struct{}{}
+	h.serviced.Add(id)
 }
 
 // dropDup discards a duplicate delivery (or spurious retransmission whose
@@ -341,7 +410,7 @@ func (h *Home) Directory() directory.Directory { return h.dir }
 
 // Pending reports whether the bank has in-flight transactions or queued
 // requests (used by the machine's quiescence check).
-func (h *Home) Pending() bool { return len(h.txns) > 0 || len(h.waiting) > 0 }
+func (h *Home) Pending() bool { return h.txns.Len() > 0 || h.waiting.Len() > 0 }
 
 // StuckReport describes the bank's in-flight and queued transactions —
 // line, waiter count, and the directory's view of the line — for deadlock
@@ -351,26 +420,26 @@ func (h *Home) StuckReport(now event.Cycle) []string {
 	if !h.Pending() {
 		return nil
 	}
-	seen := make(map[addr.Line]bool, len(h.txns)+len(h.waiting))
+	seen := make(map[addr.Line]bool, h.txns.Len()+h.waiting.Len())
 	var lines []addr.Line
-	for line := range h.txns {
+	h.txns.ForEach(func(line addr.Line, _ *txn) {
 		if !seen[line] {
 			seen[line] = true
 			lines = append(lines, line)
 		}
-	}
-	for line := range h.waiting {
+	})
+	h.waiting.ForEach(func(line addr.Line, _ *svc) {
 		if !seen[line] {
 			seen[line] = true
 			lines = append(lines, line)
 		}
-	}
+	})
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	out := make([]string, 0, len(lines))
 	for _, line := range lines {
 		var b strings.Builder
 		fmt.Fprintf(&b, "home%d: line=%#x", h.bank, uint64(line.Base()))
-		if t := h.txns[line]; t != nil {
+		if t, _ := h.txns.Get(line); t != nil {
 			b.WriteString(" txn in flight")
 			if t.onWB != nil {
 				b.WriteString(" (awaiting writeback)")
@@ -454,7 +523,7 @@ func (h *Home) process(s *svc) {
 			h.dropDup(req)
 			return
 		}
-		if h.txns[req.Line] != nil {
+		if _, busy := h.txns.Get(req.Line); busy {
 			if m := h.run.Metrics; m != nil {
 				m.HomeQueueDepth.Observe(uint64(h.waitDepth(req.Line)))
 			}
@@ -478,11 +547,11 @@ func (h *Home) start(s *svc) {
 		h.drainWaiting(line)
 		return
 	}
-	if h.txns[line] != nil {
+	if _, busy := h.txns.Get(line); busy {
 		panic(simerr.Invariant(uint64(h.q.Now()), h.site(), uint64(line.Base()),
 			"transaction collision servicing %v from cluster %d", req.Kind, req.Cluster))
 	}
-	h.txns[line] = h.allocTxn()
+	h.txns.Put(line, h.allocTxn())
 	if h.run.Tracing() || Debug {
 		h.trace("start %v line=%#x cluster=%d", req.Kind, uint64(line), req.Cluster)
 	}
@@ -532,9 +601,9 @@ func (h *Home) finish(s *svc, resp msg.Resp) {
 // enqueueWaiter appends the service record to its line's FIFO wait list.
 func (h *Home) enqueueWaiter(s *svc) {
 	s.nextWait = nil
-	head := h.waiting[s.req.Line]
-	if head == nil {
-		h.waiting[s.req.Line] = s
+	head, ok := h.waiting.Get(s.req.Line)
+	if !ok {
+		h.waiting.Put(s.req.Line, s)
 		return
 	}
 	for head.nextWait != nil {
@@ -546,7 +615,8 @@ func (h *Home) enqueueWaiter(s *svc) {
 // waitDepth counts the requests queued on a line.
 func (h *Home) waitDepth(line addr.Line) int {
 	n := 0
-	for s := h.waiting[line]; s != nil; s = s.nextWait {
+	s, _ := h.waiting.Get(line)
+	for ; s != nil; s = s.nextWait {
 		n++
 	}
 	return n
@@ -560,8 +630,8 @@ func (h *Home) completeTxn(line addr.Line) {
 			e.Pinned = false
 		}
 	}
-	if t := h.txns[line]; t != nil {
-		delete(h.txns, line)
+	if t, _ := h.txns.Get(line); t != nil {
+		h.txns.Delete(line)
 		t.onWB = nil
 		t.nextFree = h.freeTx
 		h.freeTx = t
@@ -572,14 +642,14 @@ func (h *Home) completeTxn(line addr.Line) {
 // drainWaiting starts the next request queued on the line, if any. The
 // line's transaction slot must be free.
 func (h *Home) drainWaiting(line addr.Line) {
-	s := h.waiting[line]
+	s, _ := h.waiting.Get(line)
 	if s == nil {
 		return
 	}
 	if s.nextWait == nil {
-		delete(h.waiting, line)
+		h.waiting.Delete(line)
 	} else {
-		h.waiting[line] = s.nextWait
+		h.waiting.Put(line, s.nextWait)
 		s.nextWait = nil
 	}
 	h.start(s)
@@ -589,7 +659,7 @@ func (h *Home) drainWaiting(line addr.Line) {
 // merge is value-safe at any time, and directory bookkeeping is guarded).
 func (h *Home) handleEvict(req msg.Req) {
 	h.mergeToL3(req.Line, req.Mask, req.Data)
-	if t := h.txns[req.Line]; t != nil {
+	if t, _ := h.txns.Get(req.Line); t != nil {
 		// An in-flight transaction may be waiting for exactly this data.
 		h.run.Edge(trace.EdgeHomeEvictDuringTxn)
 		t.wbArrived = true
@@ -827,29 +897,8 @@ func (h *Home) recallEntry(line addr.Line, e *directory.Entry, cont func()) {
 	}
 	e.Pinned = true
 	if e.State == directory.Modified {
-		owner := e.Owner
-		finish := func() {
-			h.dir.Remove(line)
-			cont()
-		}
-		h.sendProbe(owner, msg.Probe{Kind: msg.ProbeWB, Line: line}, func(rep msg.ProbeReply) {
-			if rep.Kind == msg.ReplyData {
-				h.run.Edge(trace.EdgeHomeRecallWBData)
-				h.mergeToL3(line, rep.Mask, rep.Data)
-				finish()
-				return
-			}
-			// Line absent at the owner: the dirty eviction is (or was) in
-			// flight. Link FIFO ordering means it normally arrived already.
-			h.run.Edge(trace.EdgeHomeRecallWBAbsent)
-			t := h.txns[line]
-			if t != nil && !t.wbArrived {
-				h.trace("recall line=%#x waiting for writeback", uint64(line))
-				t.onWB = finish
-				return
-			}
-			finish()
-		})
+		r := h.allocRecall(line, cont)
+		h.sendProbe(e.Owner, msg.Probe{Kind: msg.ProbeWB, Line: line}, r.wbRepFn)
 		return
 	}
 	targets := h.probeTargets(e, -1)
@@ -859,16 +908,10 @@ func (h *Home) recallEntry(line addr.Line, e *directory.Entry, cont func()) {
 		return
 	}
 	h.run.Edge(trace.EdgeHomeRecallInv)
-	pending := len(targets)
+	r := h.allocRecall(line, cont)
+	r.pending = len(targets)
 	for _, c := range targets {
-		h.sendProbe(c, msg.Probe{Kind: msg.ProbeInv, Line: line}, func(rep msg.ProbeReply) {
-			h.absorbReplyData(line, rep)
-			pending--
-			if pending == 0 {
-				h.dir.Remove(line)
-				cont()
-			}
-		})
+		h.sendProbe(c, msg.Probe{Kind: msg.ProbeInv, Line: line}, r.invRepFn)
 	}
 }
 
@@ -906,7 +949,7 @@ func (h *Home) allocEntry(line addr.Line, nack func(), cont func(*directory.Entr
 		return
 	}
 	victimLine := v.Line
-	if h.txns[victimLine] != nil {
+	if _, busy := h.txns.Get(victimLine); busy {
 		// An unpinned entry whose line has a transaction should not exist,
 		// but never race it: back off and retry.
 		h.q.After(retryDelay, func() { h.allocEntry(line, nack, cont) })
@@ -914,7 +957,7 @@ func (h *Home) allocEntry(line addr.Line, nack func(), cont func(*directory.Entr
 	}
 	h.run.DirEvictions++
 	h.run.Edge(trace.EdgeDirCapacityEvict)
-	h.txns[victimLine] = h.allocTxn()
+	h.txns.Put(victimLine, h.allocTxn())
 	h.recallEntry(victimLine, v, func() {
 		h.completeTxn(victimLine)
 		h.allocEntry(line, nack, cont)

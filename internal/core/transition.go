@@ -100,12 +100,12 @@ func (h *Home) transitionChanged(wordAddr addr.Addr, changed, newWord uint32, co
 // acquireLine grabs the transaction slot of a data line for a transition,
 // retrying while a regular request holds it.
 func (h *Home) acquireLine(line addr.Line, body func()) {
-	if h.txns[line] != nil {
+	if _, busy := h.txns.Get(line); busy {
 		h.run.Edge(trace.EdgeCohWaitsTxn)
 		h.q.After(retryDelay, func() { h.acquireLine(line, body) })
 		return
 	}
-	h.txns[line] = h.allocTxn()
+	h.txns.Put(line, h.allocTxn())
 	body()
 }
 

@@ -23,6 +23,7 @@ import (
 	"math/bits"
 
 	"cohesion/internal/addr"
+	"cohesion/internal/linetab"
 	"cohesion/internal/simerr"
 )
 
@@ -154,46 +155,78 @@ func AddSharer(d Directory, e *Entry, cluster int) bool {
 
 // --- Infinite full-map ---
 
+// infinite stores entries in an open-addressed table with a free list of
+// Entry records: pointers handed out by Lookup/Allocate stay stable while
+// the line is resident (the table moves only pointers on growth), and
+// steady-state allocate/remove churn recycles records instead of
+// allocating.
 type infinite struct {
-	entries map[addr.Line]*Entry
+	entries linetab.Table[*freeEntry]
+	free    *freeEntry
+}
+
+// freeEntry chains recycled Entry records. Entry itself carries no link
+// field (it is the public protocol type), so the free list wraps it.
+type freeEntry struct {
+	e    Entry
+	next *freeEntry
 }
 
 // NewInfinite returns the optimistic unbounded full-map directory.
 func NewInfinite() Directory {
-	return &infinite{entries: make(map[addr.Line]*Entry)}
+	return &infinite{}
 }
 
-func (d *infinite) Lookup(line addr.Line) *Entry { return d.entries[line] }
-func (d *infinite) HasRoom(addr.Line) bool       { return true }
-func (d *infinite) Victim(addr.Line) *Entry      { return nil }
-func (d *infinite) Limited() bool                { return false }
+func (d *infinite) Lookup(line addr.Line) *Entry {
+	if f, ok := d.entries.Get(line); ok {
+		return &f.e
+	}
+	return nil
+}
+func (d *infinite) HasRoom(addr.Line) bool  { return true }
+func (d *infinite) Victim(addr.Line) *Entry { return nil }
+func (d *infinite) Limited() bool           { return false }
 
 func (d *infinite) Allocate(line addr.Line) *Entry {
-	if d.entries[line] != nil {
+	if _, ok := d.entries.Get(line); ok {
 		// The cycle is unknown at this layer; machine.Simulate fills it in
 		// when it recovers the panic.
 		panic(simerr.Invariant(0, "directory", uint64(line.Base()), "Allocate of resident line"))
 	}
-	e := &Entry{Line: line}
-	d.entries[line] = e
-	return e
+	f := d.free
+	if f == nil {
+		f = &freeEntry{}
+	} else {
+		d.free = f.next
+		f.next = nil
+	}
+	f.e = Entry{Line: line}
+	d.entries.Put(line, f)
+	return &f.e
 }
 
-func (d *infinite) Remove(line addr.Line) { delete(d.entries, line) }
-func (d *infinite) Count() int            { return len(d.entries) }
+func (d *infinite) Remove(line addr.Line) {
+	f, ok := d.entries.Get(line)
+	if !ok {
+		return
+	}
+	d.entries.Delete(line)
+	f.next = d.free
+	d.free = f
+}
+
+func (d *infinite) Count() int { return d.entries.Len() }
 
 func (d *infinite) CountByClass() [addr.NumClasses]uint64 {
 	var out [addr.NumClasses]uint64
-	for line := range d.entries {
+	d.entries.ForEach(func(line addr.Line, _ *freeEntry) {
 		out[addr.Classify(line.Base())]++
-	}
+	})
 	return out
 }
 
 func (d *infinite) ForEach(fn func(*Entry)) {
-	for _, e := range d.entries {
-		fn(e)
-	}
+	d.entries.ForEach(func(_ addr.Line, f *freeEntry) { fn(&f.e) })
 }
 
 // --- Sparse set-associative (full-map or limited) ---
@@ -201,10 +234,18 @@ func (d *infinite) ForEach(fn func(*Entry)) {
 type sparse struct {
 	sets    [][]Entry
 	ways    int
+	mask    uint64 // nsets-1 when nsets is a power of two, else 0
 	tick    uint64
 	count   int
 	limited bool
 	byClass [addr.NumClasses]uint64
+
+	// occ has one bit per slot (set*ways+way), set while the slot is
+	// allocated. ForEach scans it instead of streaming the whole entry
+	// array — the Table 3 sparse geometry is 16K sets × 128 ways of
+	// ~40-byte entries per bank, most of it empty at end of run when the
+	// invariant sweep walks it.
+	occ []uint64
 }
 
 // NewSparse returns a set-associative sparse directory of the given total
@@ -220,27 +261,80 @@ func NewSparse(entries, assoc int, limited bool) Directory {
 		panic(simerr.Config("directory entries %d not a multiple of assoc %d", entries, assoc))
 	}
 	nsets := entries / assoc
-	d := &sparse{sets: make([][]Entry, nsets), ways: assoc, limited: limited}
+	d := &sparse{
+		sets:    make([][]Entry, nsets),
+		ways:    assoc,
+		limited: limited,
+		occ:     make([]uint64, (entries+63)/64),
+	}
+	if nsets&(nsets-1) == 0 {
+		d.mask = uint64(nsets - 1)
+	}
 	for i := range d.sets {
 		d.sets[i] = make([]Entry, assoc)
 	}
 	return d
 }
 
+// set indexes by mask when the set count is a power of two (every real
+// geometry), falling back to modulo for odd test-constructed ones.
 func (d *sparse) set(line addr.Line) []Entry {
-	return d.sets[uint64(line)%uint64(len(d.sets))]
+	return d.sets[d.setIdx(line)]
+}
+
+func (d *sparse) setIdx(line addr.Line) uint64 {
+	if d.mask != 0 || len(d.sets) == 1 {
+		return uint64(line) & d.mask
+	}
+	return uint64(line) % uint64(len(d.sets))
+}
+
+func (d *sparse) markSlot(setIdx uint64, w int) {
+	i := setIdx*uint64(d.ways) + uint64(w)
+	d.occ[i>>6] |= 1 << (i & 63)
+}
+
+func (d *sparse) clearSlot(setIdx uint64, w int) {
+	i := setIdx*uint64(d.ways) + uint64(w)
+	d.occ[i>>6] &^= 1 << (i & 63)
+}
+
+// findWay returns the way holding line in set si, or -1. It scans the
+// occupancy bitmap rather than the entry array: the Table 3 sets are
+// 128 ways (~7KB of entries) and mostly empty, so a miss costs two word
+// loads instead of a 7KB stream. This is the directory's hottest lookup
+// path (one per L3-side request plus the end-of-run inclusivity sweep).
+func (d *sparse) findWay(si uint64, line addr.Line) int {
+	set := d.sets[si]
+	lo := si * uint64(d.ways)
+	hi := lo + uint64(d.ways)
+	for base := lo &^ 63; base < hi; base += 64 {
+		word := d.occ[base>>6]
+		if base < lo {
+			word &^= 1<<(lo-base) - 1
+		}
+		if hi-base < 64 {
+			word &= 1<<(hi-base) - 1
+		}
+		for ; word != 0; word &= word - 1 {
+			w := int(base + uint64(bits.TrailingZeros64(word)) - lo)
+			if set[w].Line == line {
+				return w
+			}
+		}
+	}
+	return -1
 }
 
 func (d *sparse) Limited() bool { return d.limited }
 
 func (d *sparse) Lookup(line addr.Line) *Entry {
-	set := d.set(line)
-	for i := range set {
-		if set[i].lastUse != 0 && set[i].Line == line {
-			d.tick++
-			set[i].lastUse = d.tick
-			return &set[i]
-		}
+	si := d.setIdx(line)
+	if w := d.findWay(si, line); w >= 0 {
+		e := &d.sets[si][w]
+		d.tick++
+		e.lastUse = d.tick
+		return e
 	}
 	return nil
 }
@@ -274,36 +368,36 @@ func (d *sparse) Victim(line addr.Line) *Entry {
 }
 
 func (d *sparse) Allocate(line addr.Line) *Entry {
-	set := d.set(line)
-	var slot *Entry
+	si := d.setIdx(line)
+	set := d.sets[si]
+	slotW := -1
 	for i := range set {
 		e := &set[i]
 		if e.lastUse != 0 && e.Line == line {
 			panic(simerr.Invariant(0, "directory", uint64(line.Base()), "Allocate of resident line"))
 		}
-		if e.lastUse == 0 && slot == nil {
-			slot = e
+		if e.lastUse == 0 && slotW < 0 {
+			slotW = i
 		}
 	}
-	if slot == nil {
+	if slotW < 0 {
 		panic(simerr.Invariant(0, "directory", uint64(line.Base()), "Allocate with no room in set"))
 	}
 	d.tick++
-	*slot = Entry{Line: line, lastUse: d.tick}
+	set[slotW] = Entry{Line: line, lastUse: d.tick}
 	d.count++
 	d.byClass[addr.Classify(line.Base())]++
-	return slot
+	d.markSlot(si, slotW)
+	return &set[slotW]
 }
 
 func (d *sparse) Remove(line addr.Line) {
-	set := d.set(line)
-	for i := range set {
-		if set[i].lastUse != 0 && set[i].Line == line {
-			d.byClass[addr.Classify(line.Base())]--
-			set[i] = Entry{}
-			d.count--
-			return
-		}
+	si := d.setIdx(line)
+	if w := d.findWay(si, line); w >= 0 {
+		d.byClass[addr.Classify(line.Base())]--
+		d.sets[si][w] = Entry{}
+		d.count--
+		d.clearSlot(si, w)
 	}
 }
 
@@ -312,11 +406,11 @@ func (d *sparse) Count() int { return d.count }
 func (d *sparse) CountByClass() [addr.NumClasses]uint64 { return d.byClass }
 
 func (d *sparse) ForEach(fn func(*Entry)) {
-	for s := range d.sets {
-		for w := range d.sets[s] {
-			if d.sets[s][w].lastUse != 0 {
-				fn(&d.sets[s][w])
-			}
+	ways := uint64(d.ways)
+	for wi, word := range d.occ {
+		for ; word != 0; word &= word - 1 {
+			i := uint64(wi)<<6 + uint64(bits.TrailingZeros64(word))
+			fn(&d.sets[i/ways][i%ways])
 		}
 	}
 }

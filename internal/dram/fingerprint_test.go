@@ -1,0 +1,132 @@
+package dram
+
+import (
+	"math/bits"
+	"slices"
+	"testing"
+
+	"cohesion/internal/addr"
+)
+
+// slowFingerprint is the reference digest: the same walk as Fingerprint
+// but with the block-transform fast path disabled — every written table
+// line goes through the byte-defined mixLine fold. The fast path's
+// contract is bit-identity with this.
+func slowFingerprint(s *Store) uint64 {
+	lines := make([]addr.Line, 0, len(s.lines))
+	for line := range s.lines {
+		lines = append(lines, line)
+	}
+	slices.Sort(lines)
+	h := uint64(fnv64Offset)
+	for _, line := range lines {
+		h = mixLine(h, line, s.lines[line])
+	}
+	var buf [addr.WordsPerLine]uint32
+	for wi, w := range s.tblWritten {
+		for ; w != 0; w &= w - 1 {
+			li := wi*64 + bits.TrailingZeros64(w)
+			w0 := li * addr.WordsPerLine
+			copy(buf[:], s.tbl[w0:w0+addr.WordsPerLine])
+			h = mixLine(h, tblLine0+addr.Line(li), &buf)
+		}
+	}
+	return h
+}
+
+// fillBlock writes every word of table block wi with pattern through the
+// public write path, so the written/dirty bookkeeping is exercised too.
+func fillBlock(s *Store, wi int, pattern uint32) {
+	base := addr.TableBase + addr.Addr(wi*blockWords*addr.WordBytes)
+	for w := 0; w < blockWords; w++ {
+		s.WriteWord(base+addr.Addr(w*addr.WordBytes), pattern)
+	}
+}
+
+// TestBlockXformMatchesByteLoop checks the affine identity the fast path
+// rests on: folding a fully-written uniform 64-line block into the
+// running FNV state via the composed transform h*mult + add[h&0xff] must
+// equal 64 consecutive mixLine folds, for any incoming state. Block
+// indices at both ends of the table and a spread of patterns (including
+// ones whose low bytes collide across lanes) are crossed with hash
+// states covering every low-byte lane.
+func TestBlockXformMatchesByteLoop(t *testing.T) {
+	var buf [addr.WordsPerLine]uint32
+	hs := []uint64{fnv64Offset, 0, 1, ^uint64(0), 0x0123456789abcdef}
+	// One state per low-byte lane: the add table is indexed by h&0xff.
+	for lane := 0; lane < 256; lane++ {
+		hs = append(hs, 0xdeadbeef00+uint64(lane))
+	}
+	for _, wi := range []int{0, 7, 255, tblLines/blockLines - 1} {
+		for _, pattern := range []uint32{0, ^uint32(0), 0xdeadbeef, 0x01010101} {
+			x := blockXformFor(wi, pattern)
+			for i := range buf {
+				buf[i] = pattern
+			}
+			for _, h0 := range hs {
+				want := h0
+				for j := 0; j < blockLines; j++ {
+					want = mixLine(want, tblLine0+addr.Line(wi*blockLines+j), &buf)
+				}
+				got := h0*x.mult + x.add[h0&0xff]
+				if got != want {
+					t.Fatalf("block %d pattern %#x h0 %#x: xform %#x, byte loop %#x",
+						wi, pattern, h0, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFingerprintFastPathMatchesLineWalk builds a store mixing every
+// table-block shape the fast path discriminates — fully-written uniform
+// (eligible), fully-written non-uniform, ragged (partially written) —
+// plus ordinary map lines, and demands Fingerprint agree bit for bit
+// with the fast-path-free reference walk at every step, including after
+// rewrites that flip a block's uniformity in both directions (the dirty
+// bits must invalidate stale summaries).
+func TestFingerprintFastPathMatchesLineWalk(t *testing.T) {
+	s := NewStore()
+	check := func(stage string) {
+		t.Helper()
+		if got, want := s.Fingerprint(), slowFingerprint(s); got != want {
+			t.Fatalf("%s: fast-path fingerprint %#x, reference %#x", stage, got, want)
+		}
+	}
+
+	// Ordinary map lines on both sides of the heap.
+	s.WriteWord(0x100, 42)
+	s.WriteWord(0x8000_0000, 7)
+	check("map lines only")
+
+	fillBlock(s, 0, ^uint32(0)) // uniform, fast-path eligible
+	fillBlock(s, 3, 0)          // uniform all-zero
+	check("uniform blocks")
+
+	fillBlock(s, 5, ^uint32(0))
+	s.WriteWord(addr.TableBase+addr.Addr(5*blockWords*addr.WordBytes)+64, 0x1234)
+	check("non-uniform block")
+
+	// Ragged: only the first 3 lines of block 7 written.
+	base7 := addr.TableBase + addr.Addr(7*blockWords*addr.WordBytes)
+	for w := 0; w < 3*addr.WordsPerLine; w++ {
+		s.WriteWord(base7+addr.Addr(w*addr.WordBytes), 9)
+	}
+	check("ragged block")
+
+	// SummarizeTable (the preset-time refresh) must not change the result.
+	s.SummarizeTable()
+	check("after SummarizeTable")
+
+	// Break block 0's uniformity, then restore it: both transitions go
+	// through the dirty bits.
+	s.WriteWord(addr.TableBase+32, 0xabcd)
+	check("uniform -> non-uniform")
+	s.WriteWord(addr.TableBase+32, ^uint32(0))
+	check("non-uniform -> uniform")
+
+	// Repaint a uniform block with a different pattern: the cached
+	// summary must not serve the old transform.
+	fillBlock(s, 3, 0x5555aaaa)
+	check("pattern change")
+}

@@ -172,9 +172,13 @@ func nop() {}
 // scheduling and firing allocate nothing.
 func TestZeroAllocSteadyState(t *testing.T) {
 	var q Queue
-	// Warm up: grow the backing slice to the steady-state size.
-	for i := 0; i < 1024; i++ {
-		q.After(Cycle(i%64), nop)
+	// Warm up: grow every wheel slot's backing array to the steady-state
+	// batch depth. The sliding 64-cycle batch window below visits every
+	// slot of the wheel over time, so each slot must be warm.
+	for d := 0; d < wheelSize; d++ {
+		for k := 0; k < 16; k++ {
+			q.After(Cycle(d), nop)
+		}
 	}
 	q.Run(0)
 
@@ -200,6 +204,9 @@ func BenchmarkScheduleFire1M(b *testing.B) {
 		q.After(Cycle(i%64), nop)
 	}
 	q.Run(0)
+	for i := 0; i < batch; i++ { // refill: the timed loop runs 1024 deep
+		q.After(Cycle(i%64), nop)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,21 +1,34 @@
 // Package event provides the deterministic discrete-event simulation engine
 // that drives the Cohesion machine model.
 //
-// The engine is a 4-ary min-heap of (cycle, sequence, fn) triples over a
-// reusable backing slice. Events scheduled for the same cycle fire in the
-// order they were scheduled, which makes every simulation run bit-for-bit
-// reproducible: the machine model is single-threaded and all nondeterminism
-// is confined to explicitly seeded PRNGs in workload generators.
+// The engine is a timing wheel backed by an overflow min-heap. Profiling
+// showed the previous pure-heap design spending ~25% of whole-simulation
+// CPU in sift/compare traffic: a simulation schedules almost every event a
+// short, bounded latency ahead (cache and interconnect hops of a few
+// cycles, DRAM accesses of a few hundred), so the O(log n) reordering work
+// of a heap buys generality the workload never uses. The wheel makes the
+// common case O(1): events within the wheel horizon are appended to the
+// FIFO slot of their cycle, and because every slot holds exactly one cycle
+// (the horizon equals the slot count), append order IS schedule order — the
+// same (cycle, sequence) total order the heap maintained, witnessed by the
+// conformance suite against the original container/heap implementation.
 //
-// The heap is inlined rather than built on container/heap: the standard
-// interface forces every Push and Pop through an `any` boxing allocation,
-// which on the simulator's hot path (one event per modelled latency) made
-// the engine the dominant source of garbage. The generic heap below keeps
-// items in a flat slice that is reused across events, so scheduling and
-// firing allocate nothing in steady state. A 4-ary layout halves the tree
-// depth of a binary heap and keeps the children of a node in one or two
-// cache lines, which measures faster for the queue sizes simulations reach.
+// Events beyond the horizon (retry timeouts, watchdog ticks, statistics
+// samples) go to a small 4-ary overflow heap and migrate into the wheel as
+// simulated time approaches them. Migration is eager — it happens whenever
+// Now advances — which preserves the global ordering invariant: an overflow
+// event always enters its slot before any same-cycle event can be scheduled
+// directly, so slot FIFO order never contradicts sequence order.
+//
+// Events scheduled for the same cycle fire in the order they were
+// scheduled, which makes every simulation run bit-for-bit reproducible: the
+// machine model is single-threaded and all nondeterminism is confined to
+// explicitly seeded PRNGs in workload generators. Scheduling and firing
+// allocate nothing in steady state: slots and the overflow heap reuse their
+// backing arrays.
 package event
+
+import "math/bits"
 
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
@@ -113,12 +126,68 @@ func (h *heap4[T]) siftDown(v T) {
 	s[i] = v
 }
 
+// Wheel geometry. The horizon must comfortably cover the machine model's
+// common latencies (cache stages of 1-30 cycles, interconnect hops of a
+// few, DRAM accesses of a few hundred, NACK backoff up to ~6400); only
+// rare long timers (retry timeouts at 25000, statistics samples) overflow
+// to the heap.
+const (
+	wheelBits = 13
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+// slot holds the events of exactly one cycle within the wheel horizon, in
+// schedule order. fns[:next] have fired; fns[next:] are pending. The
+// backing array is retained across reuse.
+type slot struct {
+	at   Cycle
+	next int
+	fns  []Func
+}
+
 // Queue is a discrete-event scheduler. The zero value is ready to use.
 type Queue struct {
-	h    heap4[item]
 	now  Cycle
 	seq  uint64
 	fire uint64
+
+	pending int // scheduled but not yet executed, wheel + far
+
+	// cur is the slot index currently being drained (its cycle is now),
+	// or -1 when no drain is in progress. Same-cycle events scheduled
+	// while draining append to the live slot and fire this cycle.
+	cur int
+
+	slots [wheelSize]slot
+	occ   [wheelSize / 64]uint64 // bit per slot: has pending events
+
+	// slotMem is the initial backing store for every slot's fns array,
+	// carved out in one allocation on first use. Without it, a fresh
+	// queue pays one append-growth allocation per slot it touches —
+	// tens of thousands of small allocations front-loaded into short
+	// runs, which the hot-path allocation gate rightly rejects. Slots
+	// that outgrow their initial capacity reallocate individually.
+	slotMem []Func
+
+	far heap4[item] // events at >= now+wheelSize, ordered by (at, seq)
+}
+
+// slotCap0 is each slot's initial event capacity; busy cycles beyond it
+// grow their slot's array through the normal append path. Sized above
+// the busiest per-cycle burst any kernel reaches at bench scale (17, on
+// dmm/gjk): below that, thousands of slots pay one growth allocation per
+// fresh queue, which reads as a per-run allocation regression even
+// though each is one-time.
+const slotCap0 = 24
+
+// initWheel carves every slot's initial fns array out of one backing
+// allocation.
+func (q *Queue) initWheel() {
+	q.slotMem = make([]Func, wheelSize*slotCap0)
+	for i := range q.slots {
+		q.slots[i].fns = q.slotMem[i*slotCap0 : i*slotCap0 : (i+1)*slotCap0]
+	}
 }
 
 // Now reports the current simulated cycle: the cycle of the event being
@@ -129,7 +198,7 @@ func (q *Queue) Now() Cycle { return q.now }
 func (q *Queue) Fired() uint64 { return q.fire }
 
 // Pending reports how many events are scheduled but not yet executed.
-func (q *Queue) Pending() int { return q.h.len() }
+func (q *Queue) Pending() int { return q.pending }
 
 // At schedules fn to run at absolute cycle at. Scheduling in the past
 // (at < Now) panics: it indicates a broken latency computation in the
@@ -140,7 +209,18 @@ func (q *Queue) At(at Cycle, fn Func) {
 		panic("event: scheduled in the past")
 	}
 	q.seq++
-	q.h.push(item{at: at, seq: q.seq, fn: fn})
+	q.pending++
+	if q.slotMem == nil {
+		q.initWheel()
+	}
+	if at-q.now < wheelSize {
+		s := &q.slots[at&wheelMask]
+		s.at = at
+		s.fns = append(s.fns, fn)
+		q.occ[(at&wheelMask)>>6] |= 1 << (at & 63)
+		return
+	}
+	q.far.push(item{at: at, seq: q.seq, fn: fn})
 }
 
 // After schedules fn to run delay cycles from now.
@@ -148,36 +228,142 @@ func (q *Queue) After(delay Cycle, fn Func) {
 	q.At(q.now+delay, fn)
 }
 
+// migrate moves overflow events whose cycle has entered the wheel horizon
+// into their slots. Called whenever now advances, before any event at the
+// newly covered cycles can fire or be scheduled, so heap pop order (which
+// is sequence order) becomes slot FIFO order.
+func (q *Queue) migrate() {
+	for q.far.len() > 0 && q.far.s[0].at-q.now < wheelSize {
+		it := q.far.pop()
+		s := &q.slots[it.at&wheelMask]
+		s.at = it.at
+		s.fns = append(s.fns, it.fn)
+		q.occ[(it.at&wheelMask)>>6] |= 1 << (it.at & 63)
+	}
+}
+
+// release retires an exhausted slot: clears its occupancy bit, zeroes the
+// fn pointers so fired closures are collectable, and rewinds the backing
+// array for reuse.
+func (q *Queue) release(i int) {
+	s := &q.slots[i]
+	fns := s.fns
+	for j := range fns {
+		fns[j] = nil
+	}
+	s.fns = fns[:0]
+	s.next = 0
+	q.occ[i>>6] &^= 1 << (i & 63)
+	if q.cur == i {
+		q.cur = -1
+	}
+}
+
+// scan returns the index of the first occupied slot at or after cycle
+// `from` in circular order, or -1 if the wheel is empty. Slot cycles are
+// within [now, now+wheelSize), so circular order from slot(from) is cycle
+// order.
+func (q *Queue) scan(from Cycle) int {
+	start := int(from & wheelMask)
+	w := start >> 6
+	// First word: mask off slots before the start bit.
+	if word := q.occ[w] &^ (1<<(start&63) - 1); word != 0 {
+		return w<<6 + bits.TrailingZeros64(word)
+	}
+	// Remaining words in circular order; the loop's final iteration
+	// revisits the first word, whose high bits are known clear, so any
+	// hit there is a correctly wrapped low bit.
+	for k := 1; k <= len(q.occ); k++ {
+		i := (w + k) & (len(q.occ) - 1)
+		if word := q.occ[i]; word != 0 {
+			return i<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
+// next dequeues the earliest pending event, advancing now to its cycle.
+// ok is false when the queue is empty. The hot path — more events in the
+// slot being drained — is a bounds check and an increment.
+func (q *Queue) next() (fn Func, ok bool) {
+	if q.cur >= 0 {
+		s := &q.slots[q.cur]
+		if s.next < len(s.fns) {
+			fn = s.fns[s.next]
+			s.next++
+			q.pending--
+			return fn, true
+		}
+		q.release(q.cur)
+	}
+	if i := q.scan(q.now); i >= 0 {
+		s := &q.slots[i]
+		q.cur = i
+		if s.at != q.now {
+			q.now = s.at
+			q.migrate()
+		}
+		fn = s.fns[s.next]
+		s.next++
+		q.pending--
+		return fn, true
+	}
+	if q.far.len() > 0 {
+		it := q.far.pop()
+		q.now = it.at
+		q.migrate()
+		q.pending--
+		return it.fn, true
+	}
+	return fn, false
+}
+
+// peekAt reports the cycle of the earliest pending event. It retires an
+// exhausted current slot as a side effect (pure bookkeeping; no event
+// fires and now does not move).
+func (q *Queue) peekAt() (Cycle, bool) {
+	if q.cur >= 0 {
+		s := &q.slots[q.cur]
+		if s.next < len(s.fns) {
+			return s.at, true
+		}
+		q.release(q.cur)
+	}
+	if i := q.scan(q.now); i >= 0 {
+		return q.slots[i].at, true
+	}
+	if q.far.len() > 0 {
+		return q.far.s[0].at, true
+	}
+	return 0, false
+}
+
 // Step executes the single earliest pending event and reports whether one
 // existed.
 func (q *Queue) Step() bool {
-	if q.h.len() == 0 {
+	fn, ok := q.next()
+	if !ok {
 		return false
 	}
-	it := q.h.pop()
-	q.now = it.at
 	q.fire++
-	it.fn()
+	fn()
 	return true
 }
 
 // Run executes events until the queue drains or the limit on executed
 // events is reached. A limit of 0 means no limit. It returns the number of
-// events executed by this call and whether the queue drained. The drain
-// loop pops inline rather than calling Step per event, so the engine's
-// hot loop is a single function with no per-event call overhead.
+// events executed by this call and whether the queue drained.
 func (q *Queue) Run(limit uint64) (executed uint64, drained bool) {
 	for {
 		if limit != 0 && executed >= limit {
 			return executed, false
 		}
-		if q.h.len() == 0 {
+		fn, ok := q.next()
+		if !ok {
 			return executed, true
 		}
-		it := q.h.pop()
-		q.now = it.at
 		q.fire++
-		it.fn()
+		fn()
 		executed++
 	}
 }
@@ -185,11 +371,16 @@ func (q *Queue) Run(limit uint64) (executed uint64, drained bool) {
 // RunUntil executes events with Now <= deadline. Events scheduled beyond
 // the deadline remain pending. It reports whether the queue drained.
 func (q *Queue) RunUntil(deadline Cycle) (drained bool) {
-	for q.h.len() > 0 && q.h.s[0].at <= deadline {
-		it := q.h.pop()
-		q.now = it.at
+	for {
+		at, ok := q.peekAt()
+		if !ok {
+			return true
+		}
+		if at > deadline {
+			return false
+		}
+		fn, _ := q.next()
 		q.fire++
-		it.fn()
+		fn()
 	}
-	return q.h.len() == 0
 }

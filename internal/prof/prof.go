@@ -1,0 +1,543 @@
+// Package prof is a minimal reader for the pprof profile.proto format —
+// just enough to aggregate flat/cumulative costs per function from the
+// CPU and allocation profiles the Go runtime emits. It exists so the
+// repository's profiling harness (cohesion-profile, cohesion-bench's
+// hotpath section) can attribute profile weight without an external
+// pprof dependency; anything deeper (graphs, source listing) is
+// `go tool pprof` territory.
+//
+// The subset parsed: sample values, location → line → function chains,
+// function names, and sample-type metadata. Unknown fields are skipped
+// per protobuf wire rules, so future profile.proto additions are
+// harmless.
+package prof
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Profile is a decoded pprof profile, resolved to function names.
+type Profile struct {
+	// SampleTypes names each value column (e.g. "samples/count",
+	// "cpu/nanoseconds" for a CPU profile; "alloc_objects/count",
+	// "alloc_space/bytes" for an allocation profile).
+	SampleTypes []string
+
+	// Samples holds one entry per profile sample: the stack as function
+	// names, leaf (innermost frame) first, and the value columns.
+	Samples []Sample
+}
+
+// Sample is one stack sample with its value columns.
+type Sample struct {
+	Stack  []string // function names, leaf first
+	Values []int64
+}
+
+// Cost is one function's aggregated weight in a profile.
+type Cost struct {
+	Name string
+	Flat int64 // weight of samples with this function as the leaf
+	Cum  int64 // weight of samples with this function anywhere on the stack
+}
+
+// Parse decodes a pprof profile from r. Both gzip-compressed (the
+// runtime's output) and raw protobuf bytes are accepted.
+func Parse(r io.Reader) (*Profile, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(strings.NewReader(string(data)))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+	}
+	return decodeProfile(data)
+}
+
+// TopN aggregates per-function flat/cumulative weight over the given
+// value column and returns the n heaviest by flat cost (all of them if
+// n <= 0), plus the column's total.
+func (p *Profile) TopN(valueIndex, n int) (costs []Cost, total int64) {
+	agg := map[string]*Cost{}
+	for _, s := range p.Samples {
+		if valueIndex >= len(s.Values) {
+			continue
+		}
+		v := s.Values[valueIndex]
+		total += v
+		seen := map[string]bool{}
+		for i, name := range s.Stack {
+			c := agg[name]
+			if c == nil {
+				c = &Cost{Name: name}
+				agg[name] = c
+			}
+			if i == 0 {
+				c.Flat += v
+			}
+			if !seen[name] {
+				c.Cum += v
+				seen[name] = true
+			}
+		}
+	}
+	costs = make([]Cost, 0, len(agg))
+	for _, c := range agg {
+		costs = append(costs, *c)
+	}
+	sort.Slice(costs, func(i, j int) bool {
+		if costs[i].Flat != costs[j].Flat {
+			return costs[i].Flat > costs[j].Flat
+		}
+		return costs[i].Name < costs[j].Name
+	})
+	if n > 0 && n < len(costs) {
+		costs = costs[:n]
+	}
+	return costs, total
+}
+
+// ByPackage aggregates the given value column by the innermost frame
+// whose function name has the given prefix (e.g. "cohesion") — the
+// subsystem that asked for the time — mirroring the allocation
+// breakdown's attribution rule. Samples with no matching frame fall
+// into "(runtime)".
+func (p *Profile) ByPackage(valueIndex int, prefix string) (costs []Cost, total int64) {
+	agg := map[string]*Cost{}
+	for _, s := range p.Samples {
+		if valueIndex >= len(s.Values) {
+			continue
+		}
+		v := s.Values[valueIndex]
+		total += v
+		pkg := "(runtime)"
+		for _, name := range s.Stack {
+			if strings.HasPrefix(name, prefix) {
+				pkg = packageOf(name)
+				break
+			}
+		}
+		c := agg[pkg]
+		if c == nil {
+			c = &Cost{Name: pkg}
+			agg[pkg] = c
+		}
+		c.Flat += v
+	}
+	costs = make([]Cost, 0, len(agg))
+	for _, c := range agg {
+		costs = append(costs, *c)
+	}
+	sort.Slice(costs, func(i, j int) bool {
+		if costs[i].Flat != costs[j].Flat {
+			return costs[i].Flat > costs[j].Flat
+		}
+		return costs[i].Name < costs[j].Name
+	})
+	return costs, total
+}
+
+// packageOf trims a fully qualified function name to its package path
+// ("cohesion/internal/cluster.(*Cluster).load" → "cohesion/internal/cluster").
+// Generic instantiation suffixes ("pkg.F[go.shape...]") are cut first so
+// the shape arguments' own slashes and dots don't confuse the split.
+func packageOf(name string) string {
+	if br := strings.IndexByte(name, '['); br >= 0 {
+		name = name[:br]
+	}
+	slash := strings.LastIndexByte(name, '/')
+	if dot := strings.IndexByte(name[slash+1:], '.'); dot >= 0 {
+		return name[:slash+1+dot]
+	}
+	return name
+}
+
+// ValueIndex returns the column whose type name matches (e.g. "cpu",
+// "alloc_objects"), or the last column if absent (pprof convention: the
+// default sample value is the last).
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if strings.HasPrefix(st, typ+"/") || st == typ {
+			return i
+		}
+	}
+	if len(p.SampleTypes) == 0 {
+		return 0
+	}
+	return len(p.SampleTypes) - 1
+}
+
+// --- protobuf wire decoding (profile.proto subset) ---
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.data) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		b := d.data[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("prof: varint overflow")
+}
+
+// field reads the next field tag; returns fieldNum, wireType.
+func (d *decoder) field() (int, int, error) {
+	tag, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(tag >> 3), int(tag & 7), nil
+}
+
+// bytes reads a length-delimited payload.
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(d.pos)+n > uint64(len(d.data)) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+// skip consumes a field of the given wire type.
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := d.varint()
+		return err
+	case 1:
+		if d.pos+8 > len(d.data) {
+			return io.ErrUnexpectedEOF
+		}
+		d.pos += 8
+		return nil
+	case 2:
+		_, err := d.bytes()
+		return err
+	case 5:
+		if d.pos+4 > len(d.data) {
+			return io.ErrUnexpectedEOF
+		}
+		d.pos += 4
+		return nil
+	}
+	return fmt.Errorf("prof: unsupported wire type %d", wire)
+}
+
+// packedVarints decodes a packed repeated varint payload (also accepts a
+// single unpacked value when wire type 0 was used).
+func packedVarints(b []byte) ([]uint64, error) {
+	d := &decoder{data: b}
+	var out []uint64
+	for d.pos < len(d.data) {
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+type rawSample struct {
+	locIDs []uint64
+	values []int64
+}
+
+type rawLocation struct {
+	id      uint64
+	funcIDs []uint64 // from Line messages, in order (innermost first)
+}
+
+type rawFunction struct {
+	id   uint64
+	name int64 // string table index
+}
+
+type rawValueType struct {
+	typ, unit int64
+}
+
+func decodeProfile(data []byte) (*Profile, error) {
+	d := &decoder{data: data}
+	var (
+		sampleTypes []rawValueType
+		samples     []rawSample
+		locations   []rawLocation
+		functions   []rawFunction
+		strtab      []string
+	)
+	for d.pos < len(d.data) {
+		num, wire, err := d.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vt, err := decodeValueType(b)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			s, err := decodeSample(b)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			loc, err := decodeLocation(b)
+			if err != nil {
+				return nil, err
+			}
+			locations = append(locations, loc)
+		case 5: // function
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			fn, err := decodeFunction(b)
+			if err != nil {
+				return nil, err
+			}
+			functions = append(functions, fn)
+		case 6: // string_table
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(b))
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i int64) string {
+		if i < 0 || int(i) >= len(strtab) {
+			return ""
+		}
+		return strtab[i]
+	}
+	funcName := make(map[uint64]string, len(functions))
+	for _, f := range functions {
+		funcName[f.id] = str(f.name)
+	}
+	locFrames := make(map[uint64][]string, len(locations))
+	for _, loc := range locations {
+		frames := make([]string, 0, len(loc.funcIDs))
+		for _, fid := range loc.funcIDs {
+			frames = append(frames, funcName[fid])
+		}
+		locFrames[loc.id] = frames
+	}
+
+	p := &Profile{}
+	for _, vt := range sampleTypes {
+		p.SampleTypes = append(p.SampleTypes, str(vt.typ)+"/"+str(vt.unit))
+	}
+	for _, rs := range samples {
+		s := Sample{Values: rs.values}
+		for _, lid := range rs.locIDs {
+			s.Stack = append(s.Stack, locFrames[lid]...)
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+func decodeValueType(b []byte) (rawValueType, error) {
+	d := &decoder{data: b}
+	var vt rawValueType
+	for d.pos < len(d.data) {
+		num, wire, err := d.field()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1:
+			v, err := d.varint()
+			if err != nil {
+				return vt, err
+			}
+			vt.typ = int64(v)
+		case 2:
+			v, err := d.varint()
+			if err != nil {
+				return vt, err
+			}
+			vt.unit = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func decodeSample(b []byte) (rawSample, error) {
+	d := &decoder{data: b}
+	var s rawSample
+	for d.pos < len(d.data) {
+		num, wire, err := d.field()
+		if err != nil {
+			return s, err
+		}
+		switch {
+		case num == 1 && wire == 2: // packed location_id
+			raw, err := d.bytes()
+			if err != nil {
+				return s, err
+			}
+			ids, err := packedVarints(raw)
+			if err != nil {
+				return s, err
+			}
+			s.locIDs = append(s.locIDs, ids...)
+		case num == 1 && wire == 0:
+			v, err := d.varint()
+			if err != nil {
+				return s, err
+			}
+			s.locIDs = append(s.locIDs, v)
+		case num == 2 && wire == 2: // packed value
+			raw, err := d.bytes()
+			if err != nil {
+				return s, err
+			}
+			vals, err := packedVarints(raw)
+			if err != nil {
+				return s, err
+			}
+			for _, v := range vals {
+				s.values = append(s.values, int64(v))
+			}
+		case num == 2 && wire == 0:
+			v, err := d.varint()
+			if err != nil {
+				return s, err
+			}
+			s.values = append(s.values, int64(v))
+		default:
+			if err := d.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func decodeLocation(b []byte) (rawLocation, error) {
+	d := &decoder{data: b}
+	var loc rawLocation
+	for d.pos < len(d.data) {
+		num, wire, err := d.field()
+		if err != nil {
+			return loc, err
+		}
+		switch num {
+		case 1:
+			v, err := d.varint()
+			if err != nil {
+				return loc, err
+			}
+			loc.id = v
+		case 4: // Line message
+			raw, err := d.bytes()
+			if err != nil {
+				return loc, err
+			}
+			ld := &decoder{data: raw}
+			for ld.pos < len(ld.data) {
+				lnum, lwire, err := ld.field()
+				if err != nil {
+					return loc, err
+				}
+				if lnum == 1 && lwire == 0 {
+					fid, err := ld.varint()
+					if err != nil {
+						return loc, err
+					}
+					loc.funcIDs = append(loc.funcIDs, fid)
+					continue
+				}
+				if err := ld.skip(lwire); err != nil {
+					return loc, err
+				}
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return loc, err
+			}
+		}
+	}
+	return loc, nil
+}
+
+func decodeFunction(b []byte) (rawFunction, error) {
+	d := &decoder{data: b}
+	var fn rawFunction
+	for d.pos < len(d.data) {
+		num, wire, err := d.field()
+		if err != nil {
+			return fn, err
+		}
+		switch num {
+		case 1:
+			v, err := d.varint()
+			if err != nil {
+				return fn, err
+			}
+			fn.id = v
+		case 2:
+			v, err := d.varint()
+			if err != nil {
+				return fn, err
+			}
+			fn.name = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return fn, err
+			}
+		}
+	}
+	return fn, nil
+}

@@ -217,9 +217,12 @@ func (x *Ctx) Load(a addr.Addr) uint32 {
 	return x.c.Do(cluster.Op{Kind: cluster.OpLoad, Addr: a})
 }
 
-// Store writes the word at a.
+// Store writes the word at a. Stores are result-free, so they are issued
+// asynchronously: the program keeps running (host-side) while the machine
+// drains the store at its normal issue slot, preserving per-core program
+// order and exact timing while skipping a coroutine switch per store.
 func (x *Ctx) Store(a addr.Addr, v uint32) {
-	x.c.Do(cluster.Op{Kind: cluster.OpStore, Addr: a, Value: v})
+	x.c.DoAsync(cluster.Op{Kind: cluster.OpStore, Addr: a, Value: v})
 }
 
 // LoadF32/StoreF32 are float32 views.
@@ -229,7 +232,7 @@ func (x *Ctx) StoreF32(a addr.Addr, f float32) { x.Store(a, math.Float32bits(f))
 // Work models n cycles of non-memory computation (arithmetic).
 func (x *Ctx) Work(n int) {
 	if n > 0 {
-		x.c.Do(cluster.Op{Kind: cluster.OpWork, Cycles: int64(n)})
+		x.c.DoAsync(cluster.Op{Kind: cluster.OpWork, Cycles: int64(n)})
 	}
 }
 
@@ -260,12 +263,12 @@ func (x *Ctx) UncStore(a addr.Addr, v uint32) {
 
 // FlushLine issues the software WB instruction for the line containing a.
 func (x *Ctx) FlushLine(a addr.Addr) {
-	x.c.Do(cluster.Op{Kind: cluster.OpFlush, Addr: a})
+	x.c.DoAsync(cluster.Op{Kind: cluster.OpFlush, Addr: a})
 }
 
 // InvLine issues the software INV instruction for the line containing a.
 func (x *Ctx) InvLine(a addr.Addr) {
-	x.c.Do(cluster.Op{Kind: cluster.OpInv, Addr: a})
+	x.c.DoAsync(cluster.Op{Kind: cluster.OpInv, Addr: a})
 }
 
 // FlushRange writes back every line of [base, base+size) (eager writeback
